@@ -1,0 +1,135 @@
+"""E12 — Ablations of the design choices DESIGN.md calls out.
+
+1. Per-stage kernels vs kernel-per-task (the paper's core claim).
+2. Proportional (§4) vs uniform thread allocation.
+3. Bucket-sorted vs unsorted row->warp assignment (§3.3).
+4. Double-buffer vs stride table store (Figure 5) — hazard counts.
+5. Dynamic loading vs preloading memory footprints (§3.1).
+"""
+
+import random
+
+from repro.gpu import (
+    GpuCostModel,
+    allocate_threads_proportional,
+    allocate_threads_uniform,
+    get_gpu,
+    run_naive,
+    run_pipelined,
+)
+from repro.encoder import sorted_schedule, unsorted_schedule
+from repro.pipeline import merkle_graph, sumcheck_graph
+from repro.sumcheck import DoubleBuffer, StrideBuffer, required_capacity
+
+GH200 = get_gpu("GH200")
+COSTS = GpuCostModel()
+
+
+def test_ablation_pipelining(benchmark, show):
+    """Pipelined vs intuitive scheduling, same hardware, same cost model,
+    NO baseline compute penalty — isolates the scheduling discipline."""
+
+    def run():
+        g = merkle_graph(1 << 18, COSTS)
+        pipe = run_pipelined(GH200, g, 128, include_transfers=False)
+        naive = run_naive(GH200, g, 128, compute_penalty=1.0)
+        return (
+            pipe.steady_throughput_per_second / naive.steady_throughput_per_second
+        )
+
+    gain = benchmark(run)
+    show(f"Ablation 1 — pipelining alone: {gain:.2f}x throughput @ Merkle 2^18")
+    assert gain > 2.0
+
+
+def test_ablation_thread_allocation(benchmark, show):
+    """§4's proportional allocation vs a uniform split."""
+
+    def run():
+        g = sumcheck_graph(18, COSTS)
+        prop = run_pipelined(
+            GH200, g, 64, include_transfers=False,
+            allocator=allocate_threads_proportional,
+        )
+        unif = run_pipelined(
+            GH200, g, 64, include_transfers=False,
+            allocator=allocate_threads_uniform,
+        )
+        return prop.steady_interval_seconds, unif.steady_interval_seconds
+
+    prop_beat, unif_beat = benchmark(run)
+    show(
+        f"Ablation 2 — thread allocation: proportional beat "
+        f"{prop_beat * 1e6:.1f} us vs uniform {unif_beat * 1e6:.1f} us "
+        f"({unif_beat / prop_beat:.1f}x)"
+    )
+    assert unif_beat > prop_beat * 5  # uniform starves the big first round
+
+
+def test_ablation_bucket_sorting(benchmark, show):
+    """§3.3: sorted warps on realistic mixed row lengths."""
+
+    def run():
+        rng = random.Random(0)
+        # Bimodal rows: mostly light expander rows plus heavy dense rows.
+        lens = [rng.choice([8, 8, 8, 8, 64, 200]) for _ in range(4096)]
+        return (
+            unsorted_schedule(lens).simd_cost / sorted_schedule(lens).simd_cost
+        )
+
+    gain = benchmark(run)
+    show(f"Ablation 3 — bucket-sorted warps: {gain:.2f}x fewer warp-cycles")
+    assert gain > 1.5
+
+
+def test_ablation_buffer_strategy(benchmark, show):
+    """Figure 5: the chosen double buffer is hazard-free; stride is not."""
+
+    def run():
+        db = DoubleBuffer(capacity=required_capacity(1 << 10))
+        db.allocate(0, 1 << 10)
+        for period in range(1, 12):
+            db.begin_period(period)
+            db.read_regions(period)
+            size = 1 << 9
+            while size >= 1:
+                db.allocate(period, size)
+                size //= 2
+        sb = StrideBuffer(capacity=(1 << 10) + 64)
+        region = sb.allocate(0, 1 << 10)
+        for period in range(1, 12):
+            sb.read(period, region)
+            region = sb.allocate(period, max(1, (1 << 10) >> period))
+        return len(db.hazard_pairs()), len(sb.hazard_pairs())
+
+    db_hazards, sb_hazards = benchmark(run)
+    show(
+        f"Ablation 4 — buffers: double-buffer hazards {db_hazards}, "
+        f"stride hazards {sb_hazards}"
+    )
+    assert db_hazards == 0
+    assert sb_hazards > 0
+
+
+def test_ablation_stage_merge(benchmark, show):
+    """§4's tail-merge: capping stages cuts latency at ~no throughput cost."""
+
+    def run():
+        full = merkle_graph(1 << 20, COSTS)
+        capped = merkle_graph(1 << 20, COSTS, max_stages=9)
+        r_full = run_pipelined(GH200, full, 64, include_transfers=False)
+        r_capped = run_pipelined(GH200, capped, 64, include_transfers=False)
+        return r_full, r_capped
+
+    r_full, r_capped = benchmark(run)
+    show(
+        f"Ablation 5 — tail merge: latency {r_full.latency_seconds * 1e3:.2f} -> "
+        f"{r_capped.latency_seconds * 1e3:.2f} ms, throughput "
+        f"{r_full.steady_throughput_per_ms:.2f} -> "
+        f"{r_capped.steady_throughput_per_ms:.2f} /ms"
+    )
+    assert r_capped.latency_seconds < r_full.latency_seconds
+    assert (
+        r_capped.steady_throughput_per_second
+        > 0.9 * r_full.steady_throughput_per_second
+    )

@@ -1,0 +1,85 @@
+"""Extension benchmarks: GKR prover, MiMC, multi-GPU scaling, zkBridge.
+
+Not paper tables — these cover the repository's extensions (DESIGN.md
+systems added beyond the paper's evaluation).
+"""
+
+import random
+
+from repro.apps import TX_CIRCUIT_SCALE, revenue_report
+from repro.field import DEFAULT_FIELD
+from repro.gkr import GkrProver, GkrVerifier, matmul_circuit, random_layered_circuit
+from repro.hashing import MimcPermutation, MimcSponge
+from repro.pipeline import MultiGpuBatchSystem
+
+F = DEFAULT_FIELD
+RNG = random.Random(5)
+
+GKR_CIRCUIT = matmul_circuit(F, 4)
+GKR_INPUTS = F.rand_vector(32, RNG)
+GKR_PROOF = GkrProver(GKR_CIRCUIT).prove(GKR_INPUTS)
+
+SPONGE = MimcSponge(F)
+PERM = MimcPermutation(F)
+
+
+def test_bench_gkr_prove_matmul(benchmark):
+    """GKR proof of a 4x4 matrix product (two-phase Libra prover)."""
+    proof = benchmark(lambda: GkrProver(GKR_CIRCUIT).prove(GKR_INPUTS))
+    assert proof.size_field_elements() > 0
+
+
+def test_bench_gkr_verify_matmul(benchmark):
+    ok = benchmark(lambda: GkrVerifier(GKR_CIRCUIT).verify(GKR_INPUTS, GKR_PROOF))
+    assert ok
+
+
+def test_bench_gkr_deep_circuit(benchmark):
+    """Deeper random circuit: proof cost scales with depth x width."""
+    circuit = random_layered_circuit(F, depth=6, width=16, input_size=16, seed=1)
+    inputs = F.rand_vector(16, RNG)
+    proof = benchmark(lambda: GkrProver(circuit).prove(inputs))
+    assert GkrVerifier(circuit).verify(inputs, proof)
+
+
+def test_bench_mimc_encrypt(benchmark):
+    """One full MiMC encryption (alpha=17, ~37 rounds on M61)."""
+    benchmark(PERM.encrypt, 123456789, 987654321)
+
+
+def test_bench_mimc_sponge_8(benchmark):
+    vals = F.rand_vector(8, RNG)
+    benchmark(SPONGE.hash, vals)
+
+
+def test_bench_multigpu_scaling(benchmark, show):
+    """Farm throughput scaling across 1-4 devices."""
+
+    def run():
+        out = {}
+        for n in (1, 2, 4):
+            farm = MultiGpuBatchSystem(["A100"] * n, scale=1 << 16)
+            out[n] = farm.simulate(batch_size=1024).throughput_per_second
+        return out
+
+    scaling = benchmark(run)
+    show(
+        "Multi-GPU scaling (A100 x n, S=2^16): "
+        + ", ".join(f"{n} GPU {t:.0f}/s" for n, t in scaling.items())
+        + f" -> 4-GPU efficiency {scaling[4] / (4 * scaling[1]):.2f}"
+    )
+    assert scaling[2] > 1.7 * scaling[1]
+    assert scaling[4] > 3.2 * scaling[1]
+
+
+def test_bench_zkbridge_revenue(benchmark, show):
+    report = benchmark(
+        lambda: revenue_report(scale=TX_CIRCUIT_SCALE, devices=("GH200",))
+    )
+    pipe = report.rows["GH200/pipelined"]
+    naive = report.rows["GH200/kernel-per-task"]
+    show(
+        f"zkBridge economics: pipelined ${pipe['revenue_per_hour']:,.0f}/h vs "
+        f"kernel-per-task ${naive['revenue_per_hour']:,.0f}/h"
+    )
+    assert pipe["revenue_per_hour"] > naive["revenue_per_hour"]

@@ -1,0 +1,85 @@
+"""Real-implementation micro-benchmarks of the cryptographic substrates.
+
+Not a paper table: these time the actual Python implementations (field
+ops, SHA-256, PCS, NTT, MSM) so the repository's functional half has
+honest performance numbers alongside the simulated tables.
+"""
+
+import random
+
+import numpy as np
+
+from repro.baselines import NTT, EllipticCurve, msm_pippenger
+from repro.commitment import BrakedownPCS
+from repro.field import DEFAULT_FIELD, MultilinearPolynomial, eq_table, f31_mul
+from repro.field.primes import MERSENNE31
+from repro.hashing import Transcript, compress_block, sha256
+
+F = DEFAULT_FIELD
+RNG = random.Random(1)
+
+PCS = BrakedownPCS(F, num_vars=10, seed=1, num_col_checks=8)
+POLY = MultilinearPolynomial.random(F, 10, RNG)
+POINT = F.rand_vector(10, RNG)
+_, STATE = PCS.commit(POLY.evals)
+
+CURVE = EllipticCurve()
+MSM_POINTS = CURVE.random_points(32, seed=1)
+MSM_SCALARS = [RNG.randrange(1, CURVE.params.order) for _ in range(32)]
+
+NTT_INSTANCE = NTT(1 << 10)
+NTT_DATA = [RNG.randrange(NTT_INSTANCE.field.modulus) for _ in range(1 << 10)]
+
+F31_A = np.random.default_rng(0).integers(0, MERSENNE31, 1 << 16, dtype=np.uint64)
+
+
+def test_bench_sha256_compress(benchmark):
+    """One raw 64-byte compression (the Merkle interior-node unit)."""
+    out = benchmark(compress_block, b"\xab" * 64)
+    assert len(out) == 32
+
+
+def test_bench_sha256_1kb(benchmark):
+    out = benchmark(sha256, b"\x5a" * 1024)
+    assert len(out) == 32
+
+
+def test_bench_field_mul_python(benchmark):
+    a, b = RNG.randrange(F.modulus), RNG.randrange(F.modulus)
+    benchmark(F.mul, a, b)
+
+
+def test_bench_f31_mul_vectorised(benchmark):
+    """64k Mersenne-31 multiplications in one numpy call."""
+    out = benchmark(f31_mul, F31_A, F31_A)
+    assert out.shape == F31_A.shape
+
+
+def test_bench_eq_table(benchmark):
+    table = benchmark(eq_table, F, POINT)
+    assert len(table) == 1 << 10
+
+
+def test_bench_multilinear_evaluate(benchmark):
+    benchmark(POLY.evaluate, POINT)
+
+
+def test_bench_pcs_commit(benchmark):
+    com, _ = benchmark(PCS.commit, POLY.evals)
+    assert len(com.root) == 32
+
+
+def test_bench_pcs_open(benchmark):
+    proof = benchmark(lambda: PCS.open(STATE, POINT, Transcript(b"b")))
+    assert proof.size_field_elements() > 0
+
+
+def test_bench_ntt_forward(benchmark):
+    out = benchmark(NTT_INSTANCE.forward, NTT_DATA)
+    assert len(out) == 1 << 10
+
+
+def test_bench_msm_pippenger(benchmark):
+    """32-term MSM on secp256k1 (the first-category workload unit)."""
+    out = benchmark(msm_pippenger, CURVE, MSM_SCALARS, MSM_POINTS)
+    assert out is not None

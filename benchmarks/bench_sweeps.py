@@ -1,0 +1,69 @@
+"""Sweep benchmarks: the trend curves behind the paper's tables.
+
+Batch amortization (§4 full-workload state), thread scaling (§4 resource
+allocation), pipelined-vs-naive speedup vs input size (Tables 3-5 trend),
+and device scaling (Table 8 trend).
+"""
+
+from repro.gpu import (
+    batch_amortization_curve,
+    device_scaling_curve,
+    get_gpu,
+    monotone_nondecreasing,
+    monotone_nonincreasing,
+    size_speedup_curve,
+    thread_scaling_curve,
+)
+from repro.pipeline import merkle_graph, sumcheck_graph
+
+GH200 = get_gpu("GH200")
+
+
+def test_sweep_batch_amortization(benchmark, show):
+    xs, series = benchmark(
+        lambda: batch_amortization_curve(GH200, merkle_graph(1 << 18))
+    )
+    rows = ", ".join(
+        f"B={int(b)}: {a * 1e6:.0f}us" for b, a in zip(xs, series["amortized_seconds"])
+    )
+    show(f"Batch amortization (Merkle 2^18): {rows}")
+    assert monotone_nonincreasing(series["amortized_seconds"])
+    # The paper's full-workload claim: large batches amortize fill/drain
+    # to within a few percent of the steady beat.
+    assert series["amortized_seconds"][-1] < 1.1 * series["steady_beat_seconds"][-1]
+
+
+def test_sweep_thread_scaling(benchmark, show):
+    xs, series = benchmark(
+        lambda: thread_scaling_curve(GH200, sumcheck_graph(18))
+    )
+    rows = ", ".join(
+        f"{int(t)}thr: {v:.0f}/s"
+        for t, v in zip(xs, series["throughput_per_second"])
+    )
+    show(f"Thread scaling (sum-check 2^18): {rows}")
+    assert monotone_nondecreasing(series["throughput_per_second"])
+
+
+def test_sweep_size_speedup(benchmark, show):
+    xs, series = benchmark(
+        lambda: size_speedup_curve(GH200, lambda lg: merkle_graph(1 << lg))
+    )
+    rows = ", ".join(
+        f"2^{int(lg)}: {s:.2f}x" for lg, s in zip(xs, series["speedup"])
+    )
+    show(f"Pipelined/naive speedup vs size (Merkle): {rows}")
+    # The advantage widens as trees shrink (Tables 3-4's key trend).
+    assert series["speedup"][0] > series["speedup"][-1] > 1.0
+
+
+def test_sweep_device_scaling(benchmark, show):
+    xs, series = benchmark(
+        lambda: device_scaling_curve(lambda dev: merkle_graph(1 << 20))
+    )
+    paired = sorted(zip(xs, series["throughput_per_second"]))
+    show(
+        "Device scaling (Merkle 2^20): "
+        + ", ".join(f"{int(x)}Mcyc/s: {t:.1f}/s" for x, t in paired)
+    )
+    assert monotone_nondecreasing([t for _, t in paired])

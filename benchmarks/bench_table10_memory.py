@@ -1,0 +1,31 @@
+"""E9 — Table 10: amortized device memory per in-flight proof."""
+
+from repro.bench import compute_table10, format_rows
+from repro.gpu import dynamic_footprint_blocks, preload_footprint_blocks
+
+
+def test_table10_memory(benchmark, show):
+    rows = benchmark(compute_table10)
+    show(format_rows("Table 10 — device memory per proof (GB)", rows))
+    for row in rows:
+        v = row.values
+        assert v["ours_gb"] < v["bellperson_gb"]
+        assert v["reduction"] > 3  # paper: ~9-11x less memory
+    # Memory grows with S for both systems.
+    ours = [r.values["ours_gb"] for r in rows]
+    assert ours == sorted(ours)
+
+
+def test_dynamic_vs_preload_footprint(benchmark, show):
+    """§3.1's closed forms: 2N blocks (dynamic) vs mN (preload)."""
+
+    def run():
+        n = 1 << 18
+        return dynamic_footprint_blocks(n), preload_footprint_blocks(n, 16)
+
+    dyn, pre = benchmark(run)
+    show(
+        f"Footprint @ N=2^18: dynamic {dyn} blocks vs preload(16 trees) "
+        f"{pre} blocks -> {pre / dyn:.1f}x reduction"
+    )
+    assert pre / dyn > 7

@@ -1,0 +1,20 @@
+"""E4 — Table 6: module latency, pipelined vs non-pipelined.
+
+The paper's honest trade-off: pipelining buys throughput at a latency
+cost.  Both directions of the trade-off must reproduce.
+"""
+
+from repro.bench import compute_table6, format_rows
+
+
+def test_table6_latency(benchmark, show):
+    rows = benchmark(compute_table6)
+    show(format_rows("Table 6 — module latency (ms), baseline vs ours", rows))
+    # The pipelined module is SLOWER per item (latency), at every size.
+    for row in rows:
+        assert row.values["ours_ms"] > row.values["baseline_ms"], row.label
+    # And the latency gap widens at the larger size, as in the paper
+    # (merkle ratio 0.388 -> 0.161 from 2^18 to 2^20).
+    merkle18 = next(r for r in rows if r.label == "2^18/merkle")
+    merkle20 = next(r for r in rows if r.label == "2^20/merkle")
+    assert merkle20.values["ratio"] < merkle18.values["ratio"]

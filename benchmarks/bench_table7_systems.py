@@ -1,0 +1,57 @@
+"""E6/E11 — Table 7 + the §6.3 speedup breakdown.
+
+Amortized per-proof time: Libsnark (CPU, NTT+MSM), Bellperson (GPU,
+NTT+MSM), Orion&Arkworks (CPU, same modules as ours), Ours (pipelined
+GPU), S = 2^18..2^22; plus a real end-to-end SNARK micro-benchmark.
+"""
+
+from repro.bench import compute_breakdown, compute_table7, format_rows
+from repro.core import SnarkProver, SnarkVerifier, make_pcs, random_circuit
+from repro.field import DEFAULT_FIELD
+
+F = DEFAULT_FIELD
+CC = random_circuit(F, 128, seed=3)
+PCS = make_pcs(F, CC.r1cs, num_col_checks=6)
+PROVER = SnarkProver(CC.r1cs, PCS, public_indices=CC.public_indices)
+VERIFIER = SnarkVerifier(CC.r1cs, PCS, public_indices=CC.public_indices)
+
+
+def test_table7_systems(benchmark, show):
+    rows = benchmark(compute_table7)
+    show(format_rows("Table 7 — amortized per-proof time (ms)", rows))
+    for row in rows:
+        v = row.values
+        # Ordering: libsnark >> bellperson > orion&ark >> ours.
+        assert v["libsnark_ms"] > v["bellperson_ms"] > v["ours_ms"]
+        assert v["orion_ark_ms"] > v["ours_ms"]
+        # Headline factors: >300x vs Bellperson, >300x vs Orion&Arkworks.
+        assert v["speedup_vs_bellperson"] > 250
+        assert v["speedup_vs_orion_ark"] > 250
+        # Module breakdown ordering matches the paper's.
+        assert (
+            v["ours_sumcheck_ms"] > v["ours_encoder_ms"] > v["ours_merkle_ms"]
+        )
+
+
+def test_breakdown_protocol_vs_pipeline(benchmark, show):
+    bd = benchmark(compute_breakdown)
+    show(
+        "Speedup breakdown @ S=2^20 (§6.3): "
+        f"protocol {bd['protocol_speedup']:.1f}x (paper "
+        f"{bd['paper_protocol_speedup']}x), pipeline "
+        f"{bd['pipeline_speedup']:.1f}x (paper {bd['paper_pipeline_speedup']}x)"
+    )
+    assert 15 < bd["protocol_speedup"] < 40
+    assert 8 < bd["pipeline_speedup"] < 30
+
+
+def test_functional_snark_prove(benchmark):
+    """Real end-to-end proof generation, S = 128 gates."""
+    proof = benchmark(PROVER.prove, CC.witness, CC.public_values)
+    assert VERIFIER.verify(proof, CC.public_values)
+
+
+def test_functional_snark_verify(benchmark):
+    proof = PROVER.prove(CC.witness, CC.public_values)
+    ok = benchmark(VERIFIER.verify, proof, CC.public_values)
+    assert ok

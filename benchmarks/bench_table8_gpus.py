@@ -1,0 +1,23 @@
+"""E7 — Table 8: system throughput/latency across GPU generations."""
+
+from repro.bench import compute_table8, format_rows
+
+
+def test_table8_across_gpus(benchmark, show):
+    rows = benchmark(compute_table8)
+    show(format_rows("Table 8 — throughput (/s) and latency (s) per GPU", rows))
+    by_dev = {r.label: r.values for r in rows}
+    # Headline: >=250x throughput over Bellperson on V100 (paper: 259.5x).
+    assert by_dev["V100"]["throughput_speedup"] > 250
+    # Every device: big throughput win AND lower latency than Bellperson
+    # (the paper notes ours wins latency too thanks to the new protocol).
+    for dev, v in by_dev.items():
+        assert v["throughput_speedup"] > 200, dev
+        assert v["ours_latency_s"] < v["bell_latency_s"], dev
+    # Throughput ordering follows device capability.
+    assert (
+        by_dev["H100"]["ours_throughput"]
+        > by_dev["3090Ti"]["ours_throughput"]
+        > by_dev["A100"]["ours_throughput"]
+        > by_dev["V100"]["ours_throughput"]
+    )

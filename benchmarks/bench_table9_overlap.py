@@ -1,0 +1,35 @@
+"""E8 — Table 9: multi-stream communication/computation overlap."""
+
+from repro.bench import compute_table9, format_rows
+from repro.pipeline import BatchZkpSystem
+
+
+def test_table9_overlap(benchmark, show):
+    rows = benchmark(compute_table9)
+    show(format_rows("Table 9 — per-beat comm/comp overlap (ms)", rows))
+    for row in rows:
+        v = row.values
+        # Overlap: the beat costs ~max(comm, comp), far below comm + comp.
+        assert v["overall_ms"] < v["comm_ms"] + v["comp_ms"] * 0.9
+        assert v["overall_ms"] >= max(v["comm_ms"], v["comp_ms"]) * 0.99
+        # ~320 MB moved per beat at S = 2^20, as the paper reports.
+        assert 250 < v["comm_mb"] < 400
+
+
+def test_overlap_ablation_single_stream(benchmark, show):
+    """Without multi-stream the beat serializes (comm + comp)."""
+
+    def run():
+        system = BatchZkpSystem("V100", scale=1 << 20)
+        multi = system.simulate(batch_size=64, multi_stream=True)
+        single = system.simulate(batch_size=64, multi_stream=False)
+        return multi.sim.beat, single.sim.beat
+
+    multi, single = benchmark(run)
+    show(
+        f"V100 overlap ablation: multi-stream beat "
+        f"{multi.overall_seconds * 1e3:.2f} ms vs single-stream "
+        f"{single.overall_seconds * 1e3:.2f} ms "
+        f"(saving {(single.overall_seconds - multi.overall_seconds) * 1e3:.2f} ms/beat)"
+    )
+    assert single.overall_seconds > multi.overall_seconds * 1.5

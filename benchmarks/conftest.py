@@ -1,0 +1,14 @@
+"""Benchmark-suite helpers: print each regenerated table once."""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so tables land in the bench output."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show

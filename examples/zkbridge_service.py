@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A zkBridge-style cross-chain proving service (paper §2.1).
+
+The paper motivates batch throughput economically: bridge operators earn
+a fee per proved transaction, so proofs/second is income.  This example:
+
+1. proves real transaction-validity statements (MiMC commitment opening +
+   value conservation) with the functional SNARK;
+2. prices the pipelined vs kernel-per-task schedulers — and a small GPU
+   farm — in fees per hour at a realistic per-transaction circuit scale.
+
+Run:  python examples/zkbridge_service.py
+"""
+
+import time
+
+from repro.apps import (
+    BridgeProver,
+    TX_CIRCUIT_SCALE,
+    random_transactions,
+    revenue_report,
+)
+
+
+def functional_section() -> None:
+    print("=== Part 1: real transaction proofs ===\n")
+    prover = BridgeProver(rounds=4)
+    transactions = random_transactions(3, seed=7)
+    for tx in transactions:
+        t0 = time.perf_counter()
+        compiled, proof = prover.prove(tx)
+        dt = time.perf_counter() - t0
+        commitment = tx.commitment(prover.field, prover.perm)
+        ok = prover.verify(compiled, proof, commitment, tx.amount)
+        wrong_amount = prover.verify(compiled, proof, commitment, tx.amount + 1)
+        print(
+            f"  tx #{tx.nonce}: amount {tx.amount:>10d}  "
+            f"S={compiled.r1cs.num_constraints:4d} gates  "
+            f"proved in {dt * 1e3:5.0f} ms  verify={ok}  "
+            f"forged-amount accepted={wrong_amount}"
+        )
+        assert ok and not wrong_amount
+    print()
+
+
+def economics_section() -> None:
+    print(
+        "=== Part 2: throughput economics "
+        f"(S = 2^18 per tx, $0.50/proof) ===\n"
+    )
+    report = revenue_report(
+        fee_per_proof=0.50,
+        scale=TX_CIRCUIT_SCALE,
+        devices=("GH200", "V100"),
+        farm=("V100", "A100", "H100"),
+    )
+    print(f"  {'configuration':28s} {'proofs/s':>10s} {'revenue/hour':>14s}")
+    for name, row in sorted(
+        report.rows.items(), key=lambda kv: -kv[1]["revenue_per_hour"]
+    ):
+        print(
+            f"  {name:28s} {row['proofs_per_second']:10.1f} "
+            f"${row['revenue_per_hour']:13,.0f}"
+        )
+    best = report.best_configuration()
+    pipe = report.rows["GH200/pipelined"]["revenue_per_hour"]
+    naive = report.rows["GH200/kernel-per-task"]["revenue_per_hour"]
+    print(
+        f"\n  best: {best}; on GH200 the pipelined scheduler earns "
+        f"{pipe / naive:.2f}x the kernel-per-task baseline — "
+        f"'more proofs per unit time brings more income' (§2.1)"
+    )
+
+
+if __name__ == "__main__":
+    functional_section()
+    economics_section()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+``pip install -e .`` normally suffices; this file exists so the package can
+also be installed on machines without the ``wheel`` module (offline CI) via
+``python setup.py develop``.
+"""
+from setuptools import setup
+
+setup()

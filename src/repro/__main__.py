@@ -1,0 +1,125 @@
+"""Command-line interface: regenerate the paper's evaluation artifacts.
+
+Usage::
+
+    python -m repro list                  # available experiments
+    python -m repro table3 [--device X]   # one table
+    python -m repro fig9                  # utilization traces
+    python -m repro all                   # everything
+    python -m repro breakdown             # §6.3 speedup decomposition
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    compute_breakdown,
+    compute_fig9,
+    compute_table3,
+    compute_table4,
+    compute_table5,
+    compute_table6,
+    compute_table7,
+    compute_table8,
+    compute_table9,
+    compute_table10,
+    compute_table11,
+    format_rows,
+)
+
+TABLES = {
+    "table3": ("Table 3 — Merkle tree throughput (trees/ms)", compute_table3, True),
+    "table4": ("Table 4 — sum-check throughput (proofs/ms)", compute_table4, True),
+    "table5": ("Table 5 — encoder throughput (codes/ms)", compute_table5, True),
+    "table6": ("Table 6 — module latency (ms)", compute_table6, True),
+    "table7": ("Table 7 — amortized per-proof time (ms)", compute_table7, True),
+    "table8": ("Table 8 — throughput/latency across GPUs", compute_table8, False),
+    "table9": ("Table 9 — comm/comp overlap (ms)", compute_table9, False),
+    "table10": ("Table 10 — device memory per proof (GB)", compute_table10, True),
+    "table11": ("Table 11 — verifiable ML (VGG-16)", compute_table11, True),
+}
+
+
+def _print_fig9() -> None:
+    chars = " ▁▂▃▄▅▆▇█"
+
+    def spark(trace, width=60):
+        step = max(1, len(trace) // width)
+        return "".join(
+            chars[min(8, int(trace[i][1] * 8 + 0.5))]
+            for i in range(0, len(trace), step)
+        )
+
+    print("Figure 9 — GPU core utilization (3090Ti)")
+    for module, traces in compute_fig9().items():
+        print(f"  {module:9s} ours     |{spark(traces['ours'])}| "
+              f"mean={traces['ours_mean']:.2f}")
+        print(f"  {module:9s} baseline |{spark(traces['baseline'])}| "
+              f"mean={traces['baseline_mean']:.2f}")
+
+
+def _print_breakdown() -> None:
+    bd = compute_breakdown()
+    print("Speedup decomposition @ S = 2^20 (§6.3)")
+    print(f"  new-protocol speedup: {bd['protocol_speedup']:.2f}x "
+          f"(paper {bd['paper_protocol_speedup']}x)")
+    print(f"  pipeline speedup:     {bd['pipeline_speedup']:.2f}x "
+          f"(paper {bd['paper_pipeline_speedup']}x)")
+    print(f"  total vs Bellperson:  {bd['total_speedup_vs_bellperson']:.1f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the BatchZK paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(TABLES) + ["fig9", "breakdown", "all", "list", "apidoc"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--device",
+        default=None,
+        help="GPU to simulate where applicable (default: GH200)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "apidoc":
+        from .bench.apidoc import write_api_markdown
+
+        print(f"wrote {write_api_markdown()}")
+        return 0
+
+    if args.experiment == "list":
+        for key, (title, _, _) in sorted(TABLES.items()):
+            print(f"{key:8s} {title}")
+        print(f"{'fig9':8s} Figure 9 — GPU core utilization traces")
+        print(f"{'breakdown':8s} §6.3 protocol-vs-pipeline decomposition")
+        return 0
+
+    targets = sorted(TABLES) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        if target == "fig9":
+            _print_fig9()
+            continue
+        if target == "breakdown":
+            _print_breakdown()
+            continue
+        title, fn, takes_device = TABLES[target]
+        kwargs = {}
+        if args.device and takes_device:
+            kwargs["device"] = args.device
+        print(format_rows(title, fn(**kwargs)))
+        print()
+    if args.experiment == "all":
+        _print_fig9()
+        print()
+        _print_breakdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Application layer beyond verifiable ML (paper §2.1's other use cases).
+
+* :mod:`repro.apps.zkbridge` — a cross-chain proving service with real
+  transaction-validity proofs and the throughput-to-revenue economics the
+  paper motivates batching with.
+"""
+
+from .zkbridge import (
+    BridgeProver,
+    RevenueReport,
+    Transaction,
+    TX_CIRCUIT_SCALE,
+    random_transactions,
+    revenue_report,
+)
+
+__all__ = [
+    "BridgeProver",
+    "Transaction",
+    "random_transactions",
+    "revenue_report",
+    "RevenueReport",
+    "TX_CIRCUIT_SCALE",
+]

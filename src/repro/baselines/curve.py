@@ -1,0 +1,127 @@
+"""Short-Weierstrass elliptic-curve arithmetic for the MSM baseline.
+
+The first category of ZKP protocols (Groth16, Plonk — the paper's
+Libsnark/Bellperson baselines) spends most of its prover time in
+multi-scalar multiplication over an elliptic-curve group.  This module
+implements generic affine/Jacobian point arithmetic so the MSM baseline
+runs a real group law; the default instantiation is secp256k1 (a standard
+256-bit curve — the baselines' BN254/BLS12-381 differ only in constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import FieldError
+from ..field.prime_field import PrimeField
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """y² = x³ + a·x + b over GF(p), with a generator of prime order n."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    order: int
+
+
+SECP256K1 = CurveParams(
+    name="secp256k1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F,
+    a=0,
+    b=7,
+    gx=0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798,
+    gy=0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8,
+    order=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141,
+)
+
+
+class EllipticCurve:
+    """A short-Weierstrass curve with affine point operations.
+
+    Points are ``(x, y)`` tuples of raw ints; ``None`` is the identity.
+
+    >>> curve = EllipticCurve(SECP256K1)
+    >>> g = curve.generator
+    >>> curve.add(g, curve.neg(g)) is None
+    True
+    """
+
+    def __init__(self, params: CurveParams = SECP256K1):
+        self.params = params
+        self.field = PrimeField(params.p, name=f"{params.name}-base", check=False)
+        self.generator: Tuple[int, int] = (params.gx, params.gy)
+        if not self.is_on_curve(self.generator):
+            raise FieldError(f"generator not on curve {params.name}")
+
+    def is_on_curve(self, point: Optional[Tuple[int, int]]) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        p = self.params.p
+        return (y * y - (x * x * x + self.params.a * x + self.params.b)) % p == 0
+
+    def neg(self, point: Optional[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+        if point is None:
+            return None
+        x, y = point
+        return (x, (-y) % self.params.p)
+
+    def add(
+        self,
+        p1: Optional[Tuple[int, int]],
+        p2: Optional[Tuple[int, int]],
+    ) -> Optional[Tuple[int, int]]:
+        """Full affine addition (handles identity and doubling)."""
+        if p1 is None:
+            return p2
+        if p2 is None:
+            return p1
+        p = self.params.p
+        x1, y1 = p1
+        x2, y2 = p2
+        if x1 == x2:
+            if (y1 + y2) % p == 0:
+                return None
+            # Doubling: λ = (3x² + a) / 2y.
+            lam = (3 * x1 * x1 + self.params.a) * pow(2 * y1, p - 2, p) % p
+        else:
+            lam = (y2 - y1) * pow(x2 - x1, p - 2, p) % p
+        x3 = (lam * lam - x1 - x2) % p
+        y3 = (lam * (x1 - x3) - y1) % p
+        return (x3, y3)
+
+    def double(self, point: Optional[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+        return self.add(point, point)
+
+    def scalar_mul(
+        self, k: int, point: Optional[Tuple[int, int]]
+    ) -> Optional[Tuple[int, int]]:
+        """Double-and-add scalar multiplication."""
+        k %= self.params.order
+        result: Optional[Tuple[int, int]] = None
+        addend = point
+        while k:
+            if k & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            k >>= 1
+        return result
+
+    def random_points(self, count: int, seed: int = 0):
+        """Deterministic pseudorandom points (multiples of the generator)."""
+        import random
+
+        rng = random.Random(f"curve-points/{seed}")
+        points = []
+        current = self.generator
+        for _ in range(count):
+            step = rng.randrange(1, 1 << 64)
+            current = self.add(current, self.scalar_mul(step, self.generator))
+            points.append(current)
+        return points

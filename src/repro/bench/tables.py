@@ -1,0 +1,414 @@
+"""Experiment runners: one function per paper table/figure.
+
+Each ``compute_*`` function regenerates the corresponding evaluation
+artifact of the paper from the calibrated simulator (plus real functional
+code where applicable), returning structured rows.  The benchmark files
+under ``benchmarks/`` time and print them; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+
+Paper reference values are embedded per row so every output prints
+"ours vs paper" side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines import (
+    ZKML_BASELINES,
+    OURS_ACCURACY_PERCENT,
+    bellperson_memory_gb,
+    bellperson_times,
+    libsnark_times,
+    orion_arkworks_times,
+)
+from ..gpu import (
+    CPU_C5A_8XLARGE,
+    GpuCostModel,
+    get_gpu,
+    run_cpu,
+    run_naive,
+    run_pipelined,
+)
+from ..pipeline import (
+    BatchZkpSystem,
+    encoder_graph,
+    merkle_graph,
+    sumcheck_graph,
+)
+from ..zkml import simulate_vgg16_service, vgg16_cifar10
+
+DEFAULT_DEVICE = "GH200"
+SIZES = (18, 19, 20, 21, 22)
+
+#: Paper values (throughput per ms) for Tables 3-5, keyed by log2 size.
+PAPER_TABLE3 = {
+    "cpu": {22: 2.140e-3, 21: 4.290e-3, 20: 8.600e-3, 19: 17.21e-3, 18: 34.45e-3},
+    "gpu_baseline": {22: 0.845, 21: 1.412, 20: 2.137, 19: 3.003, 18: 3.861},
+    "ours": {22: 1.698, 21: 3.356, 20: 6.536, 19: 12.658, 18: 23.810},
+}
+PAPER_TABLE4 = {
+    "cpu": {22: 0.382e-3, 21: 0.773e-3, 20: 1.583e-3, 19: 3.241e-3, 18: 6.497e-3},
+    "gpu_baseline": {22: 0.969, 21: 1.497, 20: 2.160, 19: 2.865, 18: 3.378},
+    "ours": {22: 1.461, 21: 2.884, 20: 5.622, 19: 10.610, 18: 19.753},
+}
+PAPER_TABLE5 = {
+    "cpu": {22: 0.216e-3, 21: 0.643e-3, 20: 1.699e-3, 19: 3.510e-3, 18: 7.242e-3},
+    "gpu_baseline": {22: 0.031, 21: 0.061, 20: 0.114, 19: 0.211, 18: 0.328},
+    "ours": {22: 0.182, 21: 0.365, 20: 0.726, 19: 1.550, 18: 3.115},
+}
+#: Table 6 latency (ms), keyed by (module, log2 size, scheme).
+PAPER_TABLE6 = {
+    ("merkle", 18, "baseline"): 0.259,
+    ("merkle", 18, "ours"): 0.668,
+    ("sumcheck", 18, "baseline"): 0.296,
+    ("sumcheck", 18, "ours"): 0.911,
+    ("encoder", 18, "baseline"): 3.048,
+    ("encoder", 18, "ours"): 4.494,
+    ("merkle", 20, "baseline"): 0.468,
+    ("merkle", 20, "ours"): 2.913,
+    ("sumcheck", 20, "baseline"): 0.463,
+    ("sumcheck", 20, "ours"): 3.557,
+    ("encoder", 20, "baseline"): 8.760,
+    ("encoder", 20, "ours"): 22.14,
+}
+#: Table 7 "Ours" (ms, GH200): merkle, sumcheck, encoder, total.
+PAPER_TABLE7_OURS = {
+    18: (0.167, 1.782, 0.479, 2.524),
+    19: (0.286, 2.713, 0.833, 4.021),
+    20: (0.535, 3.699, 1.597, 6.161),
+    21: (1.004, 6.392, 3.148, 11.189),
+    22: (1.922, 10.817, 6.270, 20.305),
+}
+#: Table 8 (throughput /s, latency s) per device at S = 2^20.
+PAPER_TABLE8 = {
+    "V100": {"bell": (0.152, 6.579), "ours": (39.44, 0.709)},
+    "A100": {"bell": (0.262, 3.817), "ours": (80.01, 0.371)},
+    "3090Ti": {"bell": (0.337, 2.967), "ours": (95.44, 0.317)},
+    "H100": {"bell": (0.370, 2.703), "ours": (106.8, 0.262)},
+}
+#: Table 9 (comm ms, comp ms, overall ms) per device.
+PAPER_TABLE9 = {
+    "V100": (22.95, 24.73, 25.35),
+    "A100": (10.44, 12.41, 12.50),
+    "3090Ti": (10.50, 10.42, 10.56),
+    "H100": (4.90, 9.11, 9.37),
+}
+#: Table 10 ours memory (GB).
+PAPER_TABLE10_OURS = {18: 0.08, 19: 0.10, 20: 0.15, 21: 0.25, 22: 0.44}
+#: Table 11 ours.
+PAPER_TABLE11_OURS = {"throughput": 9.5220, "latency": 15.2}
+
+
+@dataclass
+class TableRow:
+    """One row of a regenerated table: labeled measured/paper value pairs."""
+
+    label: str
+    values: Dict[str, float] = dc_field(default_factory=dict)
+
+
+def _module_graph(kind: str, lg: int, costs: GpuCostModel):
+    if kind == "merkle":
+        return merkle_graph(1 << lg, costs)
+    if kind == "sumcheck":
+        return sumcheck_graph(lg, costs)
+    if kind == "encoder":
+        return encoder_graph(1 << lg, costs)
+    raise ValueError(f"unknown module {kind!r}")
+
+
+def _module_penalty(kind: str, costs: GpuCostModel) -> Tuple[float, Optional[float]]:
+    if kind == "merkle":
+        return costs.naive_merkle_penalty, None
+    if kind == "sumcheck":
+        return costs.naive_sumcheck_penalty, None
+    return costs.naive_encoder_penalty, costs.encoder_stage_launch_seconds
+
+
+def compute_module_table(
+    kind: str,
+    paper: Dict[str, Dict[int, float]],
+    device: str = DEFAULT_DEVICE,
+    sizes: Tuple[int, ...] = SIZES,
+    batch: int = 64,
+) -> List[TableRow]:
+    """Tables 3-5: module throughput (items/ms) — CPU, naive GPU, ours."""
+    gpu = get_gpu(device)
+    costs = GpuCostModel()
+    penalty, launch = _module_penalty(kind, costs)
+    rows = []
+    for lg in sorted(sizes, reverse=True):
+        graph = _module_graph(kind, lg, costs)
+        ours = run_pipelined(gpu, graph, batch, costs=costs, include_transfers=False)
+        naive = run_naive(
+            gpu, graph, batch, costs=costs, compute_penalty=penalty,
+            launch_seconds=launch,
+        )
+        cpu = run_cpu(CPU_C5A_8XLARGE, graph, 2)
+        values = {
+            "cpu": cpu.steady_throughput_per_ms,
+            "gpu_baseline": naive.steady_throughput_per_ms,
+            "ours": ours.steady_throughput_per_ms,
+            "speedup_vs_cpu": ours.steady_throughput_per_second
+            / cpu.steady_throughput_per_second,
+            "speedup_vs_gpu": ours.steady_throughput_per_second
+            / naive.steady_throughput_per_second,
+        }
+        # Paper reference cells exist only for the published sizes.
+        for key in ("cpu", "gpu_baseline", "ours"):
+            if lg in paper[key]:
+                values[f"{key}_paper"] = paper[key][lg]
+        rows.append(TableRow(label=f"2^{lg}", values=values))
+    return rows
+
+
+def compute_table3(**kw) -> List[TableRow]:
+    """Table 3: Merkle tree module throughput (trees/ms)."""
+    return compute_module_table("merkle", PAPER_TABLE3, **kw)
+
+
+def compute_table4(**kw) -> List[TableRow]:
+    """Table 4: sum-check module throughput (proofs/ms)."""
+    return compute_module_table("sumcheck", PAPER_TABLE4, **kw)
+
+
+def compute_table5(**kw) -> List[TableRow]:
+    """Table 5: linear-time encoder throughput (codes/ms)."""
+    return compute_module_table("encoder", PAPER_TABLE5, **kw)
+
+
+def compute_table6(device: str = DEFAULT_DEVICE) -> List[TableRow]:
+    """Table 6: per-module latency, non-pipelined baseline vs ours."""
+    gpu = get_gpu(device)
+    costs = GpuCostModel()
+    rows = []
+    for lg in (18, 20):
+        for kind in ("merkle", "sumcheck", "encoder"):
+            graph = _module_graph(kind, lg, costs)
+            penalty, launch = _module_penalty(kind, costs)
+            ours = run_pipelined(gpu, graph, 64, costs=costs, include_transfers=False)
+            naive = run_naive(
+                gpu, graph, 64, costs=costs, compute_penalty=penalty,
+                launch_seconds=launch,
+            )
+            rows.append(
+                TableRow(
+                    label=f"2^{lg}/{kind}",
+                    values={
+                        "baseline_ms": naive.latency_seconds * 1e3,
+                        "baseline_paper": PAPER_TABLE6[(kind, lg, "baseline")],
+                        "ours_ms": ours.latency_seconds * 1e3,
+                        "ours_paper": PAPER_TABLE6[(kind, lg, "ours")],
+                        "ratio": naive.latency_seconds / ours.latency_seconds,
+                    },
+                )
+            )
+    return rows
+
+
+def compute_fig9(device: str = "3090Ti", lg: int = 18) -> Dict[str, Dict[str, list]]:
+    """Figure 9: utilization traces, pipelined vs baseline, per module.
+
+    Returns {module: {"ours": [(t, util)...], "baseline": [...]}} on the
+    paper's 3090Ti (10,752 CUDA cores).
+    """
+    gpu = get_gpu(device)
+    costs = GpuCostModel()
+    out: Dict[str, Dict[str, list]] = {}
+    for kind in ("merkle", "sumcheck", "encoder"):
+        graph = _module_graph(kind, lg, costs)
+        penalty, launch = _module_penalty(kind, costs)
+        ours = run_pipelined(
+            gpu, graph, 64, costs=costs, include_transfers=False, trace_samples=100
+        )
+        naive = run_naive(
+            gpu, graph, 64, costs=costs, compute_penalty=penalty,
+            launch_seconds=launch, trace_samples=100,
+        )
+        out[kind] = {
+            "ours": ours.utilization_trace,
+            "baseline": naive.utilization_trace,
+            "ours_mean": ours.mean_utilization,
+            "baseline_mean": naive.mean_utilization,
+        }
+    return out
+
+
+def compute_table7(device: str = DEFAULT_DEVICE) -> List[TableRow]:
+    """Table 7: amortized per-proof time across the four systems."""
+    rows = []
+    for lg in SIZES:
+        scale = 1 << lg
+        ours = BatchZkpSystem(device, scale=scale).simulate(batch_size=256)
+        lib = libsnark_times(scale)
+        bell = bellperson_times(scale, device if device in ("GH200",) else "GH200")
+        oa = orion_arkworks_times(scale)
+        bd = ours.module_amortized_seconds
+        paper_m, paper_s, paper_e, paper_t = PAPER_TABLE7_OURS[lg]
+        rows.append(
+            TableRow(
+                label=f"2^{lg}",
+                values={
+                    "libsnark_ms": lib.total_seconds * 1e3,
+                    "bellperson_ms": bell.total_seconds * 1e3,
+                    "orion_ark_ms": oa.total_seconds * 1e3,
+                    "ours_merkle_ms": bd["merkle"] * 1e3,
+                    "ours_merkle_paper": paper_m,
+                    "ours_sumcheck_ms": bd["sumcheck"] * 1e3,
+                    "ours_sumcheck_paper": paper_s,
+                    "ours_encoder_ms": bd["encoder"] * 1e3,
+                    "ours_encoder_paper": paper_e,
+                    "ours_ms": ours.sim.beat.overall_seconds * 1e3,
+                    "ours_paper": paper_t,
+                    "speedup_vs_bellperson": bell.total_seconds
+                    / ours.sim.beat.overall_seconds,
+                    "speedup_vs_orion_ark": oa.total_seconds
+                    / ours.sim.beat.overall_seconds,
+                },
+            )
+        )
+    return rows
+
+
+def compute_breakdown(device: str = DEFAULT_DEVICE, lg: int = 20) -> Dict[str, float]:
+    """§6.3: decompose the total speedup into protocol and pipeline parts."""
+    scale = 1 << lg
+    ours = BatchZkpSystem(device, scale=scale).simulate(batch_size=256)
+    lib = libsnark_times(scale).total_seconds
+    bell = bellperson_times(scale).total_seconds
+    oa = orion_arkworks_times(scale).total_seconds
+    ours_s = ours.sim.beat.overall_seconds
+    protocol_speedup = lib / oa  # new ZKP protocol, both on CPU
+    total_speedup = bell / ours_s  # both on GPU
+    return {
+        "protocol_speedup": protocol_speedup,
+        "total_speedup_vs_bellperson": total_speedup,
+        "pipeline_speedup": total_speedup / protocol_speedup,
+        "paper_protocol_speedup": 24.34,
+        "paper_pipeline_speedup": 14.70,
+    }
+
+
+def compute_table8(scale_log2: int = 20) -> List[TableRow]:
+    """Table 8: throughput and latency across GPUs at S = 2^20."""
+    rows = []
+    for dev in ("V100", "A100", "3090Ti", "H100"):
+        ours = BatchZkpSystem(dev, scale=1 << scale_log2).simulate(batch_size=256)
+        bell = bellperson_times(1 << scale_log2, dev)
+        paper = PAPER_TABLE8[dev]
+        thpt = ours.sim.steady_throughput_per_second
+        rows.append(
+            TableRow(
+                label=dev,
+                values={
+                    "bell_latency_s": bell.total_seconds,
+                    "bell_latency_paper": paper["bell"][1],
+                    "bell_throughput": 1.0 / bell.total_seconds,
+                    "bell_throughput_paper": paper["bell"][0],
+                    "ours_latency_s": ours.latency_seconds,
+                    "ours_latency_paper": paper["ours"][1],
+                    "ours_throughput": thpt,
+                    "ours_throughput_paper": paper["ours"][0],
+                    "throughput_speedup": thpt * bell.total_seconds,
+                },
+            )
+        )
+    return rows
+
+
+def compute_table9(scale_log2: int = 20) -> List[TableRow]:
+    """Table 9: per-beat communication/computation overlap per device."""
+    rows = []
+    for dev in ("V100", "A100", "3090Ti", "H100"):
+        res = BatchZkpSystem(dev, scale=1 << scale_log2).simulate(batch_size=256)
+        beat = res.sim.beat
+        paper = PAPER_TABLE9[dev]
+        rows.append(
+            TableRow(
+                label=dev,
+                values={
+                    "comm_mb": beat.comm_bytes / 1e6,
+                    "comm_ms": beat.comm_seconds * 1e3,
+                    "comm_paper": paper[0],
+                    "comp_ms": beat.comp_seconds * 1e3,
+                    "comp_paper": paper[1],
+                    "overall_ms": beat.overall_seconds * 1e3,
+                    "overall_paper": paper[2],
+                },
+            )
+        )
+    return rows
+
+
+def compute_table10(device: str = DEFAULT_DEVICE) -> List[TableRow]:
+    """Table 10: amortized device memory per in-flight proof."""
+    rows = []
+    for lg in SIZES:
+        res = BatchZkpSystem(device, scale=1 << lg).simulate(batch_size=64)
+        rows.append(
+            TableRow(
+                label=f"2^{lg}",
+                values={
+                    "bellperson_gb": bellperson_memory_gb(1 << lg),
+                    "ours_gb": res.memory_high_water_gb,
+                    "ours_paper": PAPER_TABLE10_OURS[lg],
+                    "reduction": bellperson_memory_gb(1 << lg)
+                    / res.memory_high_water_gb,
+                },
+            )
+        )
+    return rows
+
+
+def compute_table11(device: str = DEFAULT_DEVICE) -> List[TableRow]:
+    """Table 11: verifiable VGG-16/CIFAR-10 across systems."""
+    model = vgg16_cifar10()
+    res = simulate_vgg16_service(model, device=device)
+    thpt = res.sim.steady_throughput_per_second
+    rows = [
+        TableRow(
+            label=name,
+            values={
+                "throughput": base.throughput_per_second,
+                "latency_s": base.latency_seconds,
+                "accuracy": base.accuracy_percent,
+            },
+        )
+        for name, base in ZKML_BASELINES.items()
+    ]
+    rows.append(
+        TableRow(
+            label="Ours",
+            values={
+                "throughput": thpt,
+                "throughput_paper": PAPER_TABLE11_OURS["throughput"],
+                "latency_s": res.latency_seconds,
+                "latency_paper": PAPER_TABLE11_OURS["latency"],
+                "accuracy": OURS_ACCURACY_PERCENT,
+                "gates": float(model.gate_count()),
+            },
+        )
+    )
+    return rows
+
+
+def format_rows(title: str, rows: List[TableRow], precision: int = 4) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    keys: List[str] = []
+    for row in rows:
+        for k in row.values:
+            if k not in keys:
+                keys.append(k)
+    header = ["size/system"] + keys
+    lines = [title, " | ".join(f"{h:>18s}" for h in header)]
+    for row in rows:
+        cells = [f"{row.label:>18s}"]
+        for k in keys:
+            v = row.values.get(k)
+            cells.append(f"{v:>18.{precision}g}" if v is not None else " " * 18)
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

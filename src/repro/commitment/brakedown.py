@@ -1,0 +1,396 @@
+"""Brakedown/Orion-style polynomial commitment (linear code + Merkle tree).
+
+This is the "commitment" spine of the paper's second category of ZKP
+protocols (Figure 1): the prover's input is split into segments, each
+segment is encoded by the linear-time encoder, the codewords are committed
+by Merkle trees, and evaluation claims are checked with random column
+openings.
+
+Scheme (for a multilinear polynomial ``w`` over ``n`` variables):
+
+* Arrange the ``2^n`` hypercube evaluations into an ``R × C`` matrix ``M``
+  (``R = 2^{n_row}`` rows, ``C = 2^{n_col}`` columns; the low ``n_col``
+  variables index columns).
+* **Commit** — encode every row with the Spielman encoder (codeword length
+  ``q·C``), then Merkle-commit the *columns* of the encoded matrix ``U``.
+  The commitment is the Merkle root.
+* **Open at point z** — split ``z`` into column half ``z_lo`` and row half
+  ``z_hi``; then ``w(z) = q_rowᵀ · M · q_col`` with ``q_row = eq(z_hi,·)``,
+  ``q_col = eq(z_lo,·)``.  The prover sends:
+
+  - a *proximity row*  ``p = rᵀ·M`` for a transcript-derived random ``r``
+    (tests that the committed rows are jointly close to the code),
+  - the *evaluation row* ``u = q_rowᵀ·M``,
+  - openings of ``t`` transcript-chosen codeword columns.
+
+* **Verify** — for each opened column ``j``: check the Merkle path, and
+  check ``Enc(p)[j] = Σ_i r_i·U[i][j]`` and ``Enc(u)[j] = Σ_i q_row_i·
+  U[i][j]`` (linearity of the code makes honest rows pass everywhere).
+  Finally check ``⟨u, q_col⟩ = claimed value``.
+
+Security note: soundness error decays exponentially in the number of
+column checks ``t`` given the code's minimum distance; this reproduction
+uses pseudorandom expanders without a certified distance bound, so ``t``
+is a tunable knob rather than a derived constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CommitmentError
+from ..field.multilinear import eq_table
+from ..field.prime_field import PrimeField
+from ..hashing.hashers import Hasher, get_hasher
+from ..hashing.transcript import Transcript
+from ..merkle.multiproof import MerkleMultiProof, open_multi
+from ..merkle.proof import MerklePath
+from ..merkle.tree import MerkleTree
+from ..encoder.spielman import EncoderParams, SpielmanEncoder
+
+DEFAULT_COLUMN_CHECKS = 24
+
+
+@dataclass(frozen=True)
+class PcsParams:
+    """Static parameters shared by prover and verifier."""
+
+    num_vars: int
+    row_vars: int
+    col_vars: int
+    encoder_seed: int
+    encoder_params: EncoderParams
+    num_col_checks: int = DEFAULT_COLUMN_CHECKS
+    #: Authenticate all opened columns with one shared Merkle multiproof
+    #: instead of independent per-column paths (smaller proofs).
+    compress_openings: bool = False
+
+    @property
+    def num_rows(self) -> int:
+        return 1 << self.row_vars
+
+    @property
+    def num_cols(self) -> int:
+        return 1 << self.col_vars
+
+    @property
+    def codeword_length(self) -> int:
+        return self.encoder_params.codeword_length(self.num_cols)
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """The public commitment: a Merkle root plus the shape parameters."""
+
+    root: bytes
+    params: PcsParams
+
+
+@dataclass
+class ProverState:
+    """Everything the prover retains between commit and open."""
+
+    matrix: List[List[int]]  # R×C coefficient matrix
+    encoded: List[List[int]]  # R×(qC) codeword matrix U
+    tree: MerkleTree
+    params: PcsParams
+
+
+@dataclass(frozen=True)
+class ColumnOpening:
+    """One opened codeword column.
+
+    ``path`` is its individual Merkle authentication path, or ``None``
+    when the whole proof authenticates columns with one shared
+    :class:`~repro.merkle.MerkleMultiProof` (compressed mode).
+    """
+
+    index: int
+    values: List[int]  # the column across all R rows
+    path: Optional[MerklePath]
+
+
+@dataclass(frozen=True)
+class EvalProof:
+    """Proof that the committed polynomial evaluates to ``value`` at ``point``.
+
+    ``multiproof`` is set in compressed-openings mode (see
+    :class:`PcsParams.compress_openings`): the opened columns' leaves are
+    then authenticated jointly, deduplicating shared interior nodes.
+    """
+
+    proximity_row: List[int]
+    evaluation_row: List[int]
+    columns: List[ColumnOpening]
+    multiproof: Optional["MerkleMultiProof"] = None
+
+    def size_field_elements(self) -> int:
+        return (
+            len(self.proximity_row)
+            + len(self.evaluation_row)
+            + sum(len(c.values) for c in self.columns)
+        )
+
+    def size_bytes(self, field: PrimeField) -> int:
+        fe = self.size_field_elements() * field.byte_length
+        paths = sum(
+            c.path.size_bytes() for c in self.columns if c.path is not None
+        )
+        if self.multiproof is not None:
+            paths += self.multiproof.size_bytes()
+        return fe + paths
+
+
+def split_num_vars(num_vars: int, row_vars: Optional[int] = None) -> Tuple[int, int]:
+    """Choose the row/column split; default is the balanced √N shape."""
+    if num_vars < 2:
+        raise CommitmentError("need at least 2 variables to commit")
+    if row_vars is None:
+        row_vars = num_vars // 2
+    col_vars = num_vars - row_vars
+    if row_vars < 1 or col_vars < 1:
+        raise CommitmentError(
+            f"invalid split: {row_vars} row vars, {col_vars} col vars"
+        )
+    return row_vars, col_vars
+
+
+class BrakedownPCS:
+    """A complete commit/open/verify polynomial commitment scheme.
+
+    >>> from repro.field import DEFAULT_FIELD
+    >>> from repro.hashing import Transcript
+    >>> pcs = BrakedownPCS(DEFAULT_FIELD, num_vars=6, seed=1)
+    >>> evals = DEFAULT_FIELD.rand_vector(64)
+    >>> com, state = pcs.commit(evals)
+    >>> point = DEFAULT_FIELD.rand_vector(6)
+    >>> value = pcs.evaluate(state, point)
+    >>> proof = pcs.open(state, point, Transcript(b"x"))
+    >>> pcs.verify(com, point, value, proof, Transcript(b"x"))
+    True
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        num_vars: int,
+        row_vars: Optional[int] = None,
+        encoder_params: Optional[EncoderParams] = None,
+        seed: int = 0,
+        hasher: Optional[Hasher] = None,
+        num_col_checks: int = DEFAULT_COLUMN_CHECKS,
+        compress_openings: bool = False,
+    ):
+        row_vars, col_vars = split_num_vars(num_vars, row_vars)
+        self.field = field
+        self.hasher = hasher or get_hasher("sha256-hw")
+        self.params = PcsParams(
+            num_vars=num_vars,
+            row_vars=row_vars,
+            col_vars=col_vars,
+            encoder_seed=seed,
+            encoder_params=encoder_params or EncoderParams(),
+            num_col_checks=num_col_checks,
+            compress_openings=compress_openings,
+        )
+        self.encoder = SpielmanEncoder(
+            field,
+            self.params.num_cols,
+            self.params.encoder_params,
+            seed=seed,
+        )
+
+    # -- commit ---------------------------------------------------------------
+
+    def commit(self, evals: Sequence[int]) -> Tuple[Commitment, ProverState]:
+        """Commit to a multilinear polynomial given its hypercube table."""
+        params = self.params
+        expected = 1 << params.num_vars
+        if len(evals) != expected:
+            raise CommitmentError(
+                f"expected {expected} evaluations, got {len(evals)}"
+            )
+        p = self.field.modulus
+        cols = params.num_cols
+        matrix = [
+            [evals[r * cols + c] % p for c in range(cols)]
+            for r in range(params.num_rows)
+        ]
+        encoded = [self.encoder.encode(row) for row in matrix]
+        columns = list(zip(*encoded))
+        tree = MerkleTree.from_field_vectors(self.field, columns, self.hasher)
+        commitment = Commitment(root=tree.root, params=params)
+        return commitment, ProverState(
+            matrix=matrix, encoded=encoded, tree=tree, params=params
+        )
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _split_point(self, point: Sequence[int]) -> Tuple[List[int], List[int]]:
+        params = self.params
+        if len(point) != params.num_vars:
+            raise CommitmentError(
+                f"point has {len(point)} coordinates, expected {params.num_vars}"
+            )
+        return (
+            list(point[: params.col_vars]),  # low vars index columns
+            list(point[params.col_vars :]),  # high vars index rows
+        )
+
+    def evaluate(self, state: ProverState, point: Sequence[int]) -> int:
+        """Honest evaluation ``q_rowᵀ·M·q_col`` from the prover's matrix."""
+        z_lo, z_hi = self._split_point(point)
+        q_col = eq_table(self.field, z_lo)
+        q_row = eq_table(self.field, z_hi)
+        combined = self._combine_rows(state.matrix, q_row)
+        return self.field.dot(combined, q_col)
+
+    def _combine_rows(
+        self, matrix: Sequence[Sequence[int]], coeffs: Sequence[int]
+    ) -> List[int]:
+        p = self.field.modulus
+        width = len(matrix[0])
+        out = [0] * width
+        for coeff, row in zip(coeffs, matrix):
+            if coeff == 0:
+                continue
+            for j, v in enumerate(row):
+                out[j] += coeff * v
+        return [v % p for v in out]
+
+    # -- open -------------------------------------------------------------------------
+
+    def open(
+        self, state: ProverState, point: Sequence[int], transcript: Transcript
+    ) -> EvalProof:
+        """Produce an evaluation proof bound to ``transcript``."""
+        params = state.params
+        field = self.field
+        z_lo, z_hi = self._split_point(point)
+        transcript.absorb_bytes(b"pcs/root", state.tree.root)
+        transcript.absorb_field_vector(b"pcs/point", field, list(point))
+
+        # Proximity test: random row combination.
+        r_coeffs = transcript.challenge_field_vector(
+            b"pcs/proximity", field, params.num_rows
+        )
+        proximity_row = self._combine_rows(state.matrix, r_coeffs)
+        transcript.absorb_field_vector(b"pcs/prox-row", field, proximity_row)
+
+        # Evaluation row: eq(z_hi)ᵀ · M.
+        q_row = eq_table(field, z_hi)
+        evaluation_row = self._combine_rows(state.matrix, q_row)
+        transcript.absorb_field_vector(b"pcs/eval-row", field, evaluation_row)
+
+        # Column spot checks.
+        indices = transcript.challenge_indices(
+            b"pcs/columns", params.codeword_length, params.num_col_checks
+        )
+        opened = sorted(set(indices))
+        if params.compress_openings:
+            columns = [
+                ColumnOpening(
+                    index=j, values=[row[j] for row in state.encoded], path=None
+                )
+                for j in opened
+            ]
+            multiproof = open_multi(state.tree, opened)
+        else:
+            columns = [
+                ColumnOpening(
+                    index=j,
+                    values=[row[j] for row in state.encoded],
+                    path=state.tree.open(j),
+                )
+                for j in opened
+            ]
+            multiproof = None
+        return EvalProof(
+            proximity_row=proximity_row,
+            evaluation_row=evaluation_row,
+            columns=columns,
+            multiproof=multiproof,
+        )
+
+    # -- verify ---------------------------------------------------------------------------
+
+    def verify(
+        self,
+        commitment: Commitment,
+        point: Sequence[int],
+        value: int,
+        proof: EvalProof,
+        transcript: Transcript,
+    ) -> bool:
+        """Check an evaluation proof.  Returns False on any failed check."""
+        params = commitment.params
+        field = self.field
+        if params != self.params:
+            raise CommitmentError("commitment parameters do not match this PCS")
+        try:
+            z_lo, z_hi = self._split_point(point)
+        except CommitmentError:
+            return False
+        if len(proof.proximity_row) != params.num_cols:
+            return False
+        if len(proof.evaluation_row) != params.num_cols:
+            return False
+
+        transcript.absorb_bytes(b"pcs/root", commitment.root)
+        transcript.absorb_field_vector(b"pcs/point", field, list(point))
+        r_coeffs = transcript.challenge_field_vector(
+            b"pcs/proximity", field, params.num_rows
+        )
+        transcript.absorb_field_vector(b"pcs/prox-row", field, proof.proximity_row)
+        q_row = eq_table(field, z_hi)
+        transcript.absorb_field_vector(b"pcs/eval-row", field, proof.evaluation_row)
+        indices = transcript.challenge_indices(
+            b"pcs/columns", params.codeword_length, params.num_col_checks
+        )
+        expected_indices = sorted(set(indices))
+        if [c.index for c in proof.columns] != expected_indices:
+            return False
+
+        # The verifier re-encodes the two claimed rows (O(C) work).
+        prox_code = self.encoder.encode(proof.proximity_row)
+        eval_code = self.encoder.encode(proof.evaluation_row)
+
+        for opening in proof.columns:
+            if len(opening.values) != params.num_rows:
+                return False
+            j = opening.index
+            if field.dot(r_coeffs, opening.values) != prox_code[j]:
+                return False
+            if field.dot(q_row, opening.values) != eval_code[j]:
+                return False
+
+        expected_leaves = [
+            self.hasher.hash_bytes(field.vector_to_bytes(c.values))
+            for c in proof.columns
+        ]
+        if params.compress_openings:
+            mp = proof.multiproof
+            if mp is None:
+                return False
+            if list(mp.indices) != expected_indices:
+                return False
+            if list(mp.leaves) != expected_leaves:
+                return False
+            if not mp.verify(commitment.root, self.hasher):
+                return False
+        else:
+            if proof.multiproof is not None:
+                return False
+            for opening, leaf in zip(proof.columns, expected_leaves):
+                if opening.path is None:
+                    return False
+                if opening.path.leaf != leaf:
+                    return False
+                if opening.path.index != opening.index:
+                    return False
+                if not opening.path.verify(commitment.root, self.hasher):
+                    return False
+
+        q_col = eq_table(field, z_lo)
+        return field.dot(proof.evaluation_row, q_col) == value % field.modulus

@@ -1,0 +1,104 @@
+"""Batch proof generation (the system-level API of the paper's Figure 7).
+
+The paper's headline setting is a *stream* of proof tasks: "service
+providers need to continuously process customer inputs that come in like a
+flowing stream" (§1).  :class:`BatchProver` is the functional counterpart
+of that pipeline: it accepts tasks, generates proofs for all of them on a
+fixed R1CS instance, and reports throughput statistics.  The GPU pipeline
+*simulation* of the same workload lives in :mod:`repro.pipeline`; this
+class produces the actual, verifiable proofs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ProofError
+from .proof import SnarkProof
+from .prover import SnarkProver
+from .verifier import SnarkVerifier
+
+
+@dataclass(frozen=True)
+class ProofTask:
+    """One unit of the proof stream: a witness and its public outputs."""
+
+    task_id: int
+    witness: List[int]
+    public_values: List[int]
+
+
+@dataclass
+class BatchStats:
+    """Aggregate statistics over one batch run."""
+
+    proofs_generated: int = 0
+    total_seconds: float = 0.0
+    per_proof_seconds: List[float] = dc_field(default_factory=list)
+
+    @property
+    def throughput_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.proofs_generated / self.total_seconds
+
+    @property
+    def amortized_seconds(self) -> float:
+        if not self.proofs_generated:
+            return 0.0
+        return self.total_seconds / self.proofs_generated
+
+
+class BatchProver:
+    """Generates proofs for a stream of tasks on one circuit.
+
+    >>> # doctest-style sketch; see examples/quickstart.py for a real run
+    >>> # batch = BatchProver(prover)
+    >>> # proofs, stats = batch.prove_all(tasks)
+    """
+
+    def __init__(self, prover: SnarkProver):
+        self.prover = prover
+        self.stats = BatchStats()
+
+    def prove_all(
+        self, tasks: Sequence[ProofTask]
+    ) -> Tuple[List[SnarkProof], BatchStats]:
+        """Prove every task; returns the proofs and fresh statistics."""
+        stats = BatchStats()
+        proofs: List[SnarkProof] = []
+        batch_start = time.perf_counter()
+        for task in tasks:
+            start = time.perf_counter()
+            proofs.append(self.prover.prove(task.witness, task.public_values))
+            stats.per_proof_seconds.append(time.perf_counter() - start)
+        stats.total_seconds = time.perf_counter() - batch_start
+        stats.proofs_generated = len(proofs)
+        self.stats = stats
+        return proofs, stats
+
+    def prove_stream(self, tasks: Iterable[ProofTask]) -> Iterator[SnarkProof]:
+        """Lazily prove tasks as they arrive (the MLaaS streaming shape)."""
+        for task in tasks:
+            start = time.perf_counter()
+            proof = self.prover.prove(task.witness, task.public_values)
+            self.stats.per_proof_seconds.append(time.perf_counter() - start)
+            self.stats.proofs_generated += 1
+            self.stats.total_seconds += self.stats.per_proof_seconds[-1]
+            yield proof
+
+
+def verify_all(
+    verifier: SnarkVerifier,
+    proofs: Sequence[SnarkProof],
+    tasks: Sequence[ProofTask],
+) -> bool:
+    """Verify a batch of proofs against their tasks' public values."""
+    if len(proofs) != len(tasks):
+        raise ProofError(f"{len(proofs)} proofs for {len(tasks)} tasks")
+    return all(
+        verifier.verify(proof, task.public_values)
+        for proof, task in zip(proofs, tasks)
+    )

@@ -1,0 +1,264 @@
+"""Arithmetic-circuit frontend compiling to R1CS.
+
+A :class:`CircuitBuilder` exposes the usual gate vocabulary — public and
+private inputs, multiplication (one R1CS constraint each), free linear
+operations (add/sub/scale/constants), and equality assertions.  Values are
+assigned eagerly, so after building, the builder yields both the
+:class:`~repro.core.r1cs.R1CS` structure and a satisfying witness.
+
+Wires are linear combinations over witness variables, with variable 0
+pinned to the constant 1.  Multiplying two wires allocates a fresh
+variable for the product; everything linear stays constraint-free, which
+is why the paper's scale S counts only multiplication gates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+from ..field.prime_field import PrimeField
+from .r1cs import R1CS, SparseRow, next_power_of_two
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A linear combination ``Σ coeff_j · z_j`` of witness variables."""
+
+    terms: Tuple[Tuple[int, int], ...]  # sorted (var_index, coeff)
+
+    @classmethod
+    def of_var(cls, index: int) -> "Wire":
+        return cls(terms=((index, 1),))
+
+    @classmethod
+    def constant_one(cls) -> "Wire":
+        return cls.of_var(0)
+
+
+class CircuitBuilder:
+    """Builds a circuit and its witness simultaneously.
+
+    >>> from repro.field import DEFAULT_FIELD
+    >>> cb = CircuitBuilder(DEFAULT_FIELD)
+    >>> x = cb.private_input(3)
+    >>> y = cb.private_input(4)
+    >>> out = cb.mul(x, y)
+    >>> cb.expose_public(out)
+    >>> r1cs, witness, public = cb.finalize()
+    >>> r1cs.is_satisfied(witness)
+    True
+    >>> public
+    [12]
+    """
+
+    def __init__(self, field: PrimeField):
+        self.field = field
+        self._values: List[int] = [1]  # z[0] = 1
+        self._a_rows: List[SparseRow] = []
+        self._b_rows: List[SparseRow] = []
+        self._c_rows: List[SparseRow] = []
+        self._public_outputs: List[Wire] = []
+        self._num_inputs = 0
+        self._finalized = False
+
+    # -- wires & values ------------------------------------------------------
+
+    def _alloc(self, value: int) -> int:
+        index = len(self._values)
+        self._values.append(value % self.field.modulus)
+        return index
+
+    def wire_value(self, wire: Wire) -> int:
+        p = self.field.modulus
+        return sum(coeff * self._values[j] for j, coeff in wire.terms) % p
+
+    def constant(self, value: int) -> Wire:
+        value %= self.field.modulus
+        if value == 0:
+            return Wire(terms=())
+        return Wire(terms=((0, value),))
+
+    def private_input(self, value: int) -> Wire:
+        self._num_inputs += 1
+        return Wire.of_var(self._alloc(value))
+
+    def private_inputs(self, values: Sequence[int]) -> List[Wire]:
+        return [self.private_input(v) for v in values]
+
+    # -- linear operations (free) -----------------------------------------------
+
+    def _combine(self, pairs: Sequence[Tuple[Wire, int]]) -> Wire:
+        p = self.field.modulus
+        acc: Dict[int, int] = {}
+        for wire, scale in pairs:
+            scale %= p
+            if scale == 0:
+                continue
+            for j, coeff in wire.terms:
+                acc[j] = (acc.get(j, 0) + scale * coeff) % p
+        terms = tuple(sorted((j, c) for j, c in acc.items() if c))
+        return Wire(terms=terms)
+
+    def add(self, a: Wire, b: Wire) -> Wire:
+        return self._combine([(a, 1), (b, 1)])
+
+    def sub(self, a: Wire, b: Wire) -> Wire:
+        return self._combine([(a, 1), (b, -1)])
+
+    def scale(self, a: Wire, c: int) -> Wire:
+        return self._combine([(a, c)])
+
+    def add_constant(self, a: Wire, c: int) -> Wire:
+        return self._combine([(a, 1), (self.constant(c), 1)])
+
+    def linear_combination(self, pairs: Sequence[Tuple[Wire, int]]) -> Wire:
+        return self._combine(pairs)
+
+    def sum_wires(self, wires: Sequence[Wire]) -> Wire:
+        return self._combine([(w, 1) for w in wires])
+
+    # -- multiplication (one constraint each) --------------------------------------
+
+    def _row(self, wire: Wire) -> SparseRow:
+        return [(j, c) for j, c in wire.terms]
+
+    def mul(self, a: Wire, b: Wire) -> Wire:
+        """Multiply two wires: allocates the product and one R1CS row."""
+        if self._finalized:
+            raise CircuitError("builder already finalized")
+        value = (self.wire_value(a) * self.wire_value(b)) % self.field.modulus
+        out_index = self._alloc(value)
+        self._a_rows.append(self._row(a))
+        self._b_rows.append(self._row(b))
+        self._c_rows.append([(out_index, 1)])
+        return Wire.of_var(out_index)
+
+    def square(self, a: Wire) -> Wire:
+        return self.mul(a, a)
+
+    def assert_equal(self, a: Wire, b: Wire) -> None:
+        """Constrain a == b via the multiplicative row (a−b)·1 = 0."""
+        diff = self.sub(a, b)
+        if self.wire_value(diff) != 0:
+            raise CircuitError("assert_equal on unequal wires (bad witness)")
+        self._a_rows.append(self._row(diff))
+        self._b_rows.append(self._row(Wire.constant_one()))
+        self._c_rows.append([])
+        # C row must be non-empty-compatible: empty row means 0, allowed.
+
+    def assert_boolean(self, a: Wire) -> None:
+        """Constrain a ∈ {0,1} via a·(a−1) = 0."""
+        value = self.wire_value(a)
+        if value not in (0, 1):
+            raise CircuitError(f"assert_boolean on non-boolean value {value}")
+        self._a_rows.append(self._row(a))
+        self._b_rows.append(self._row(self.add_constant(a, -1)))
+        self._c_rows.append([])
+
+    def expose_public(self, wire: Wire) -> None:
+        """Mark a wire's value as a public output of the circuit."""
+        self._public_outputs.append(wire)
+
+    # -- finalize ---------------------------------------------------------------------
+
+    @property
+    def num_multiplications(self) -> int:
+        """The paper's scale S (constraints added so far)."""
+        return len(self._a_rows)
+
+    def finalize(self) -> Tuple[R1CS, List[int], List[int]]:
+        """Freeze into (R1CS, witness, public outputs).
+
+        Public outputs are bound by extra equality constraints pinning each
+        exposed wire to a dedicated tail variable; the verifier recomputes
+        those tail positions from the R1CS and checks them against the
+        claimed outputs through the commitment (see
+        :mod:`repro.core.prover`).
+        """
+        if self._finalized:
+            raise CircuitError("builder already finalized")
+        self._finalized = True
+        public_values = []
+        self.public_indices: List[int] = []
+        for wire in self._public_outputs:
+            value = self.wire_value(wire)
+            idx = self._alloc(value)
+            # (wire − z_idx) · 1 = 0
+            pinned = self._combine([(wire, 1), (Wire.of_var(idx), -1)])
+            self._a_rows.append(self._row(pinned))
+            self._b_rows.append(self._row(Wire.constant_one()))
+            self._c_rows.append([])
+            public_values.append(value)
+            self.public_indices.append(idx)
+        # Remove empty C rows' zero coefficients is implicit (empty list = 0).
+        # Filter zero coefficients defensively.
+        def clean(rows: List[SparseRow]) -> List[SparseRow]:
+            p = self.field.modulus
+            return [[(j, c % p) for j, c in row if c % p] for row in rows]
+
+        r1cs = R1CS(
+            self.field,
+            num_vars=len(self._values),
+            a_rows=clean(self._a_rows),
+            b_rows=clean(self._b_rows),
+            c_rows=clean(self._c_rows),
+        )
+        return r1cs, list(self._values), public_values
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """A finalized circuit: structure, a satisfying witness, and the
+    public-output bookkeeping the prover/verifier pair needs."""
+
+    r1cs: R1CS
+    witness: List[int]
+    public_values: List[int]
+    public_indices: List[int]
+
+
+def compile_builder(builder: CircuitBuilder) -> CompiledCircuit:
+    """Finalize a builder into a :class:`CompiledCircuit`."""
+    r1cs, witness, public_values = builder.finalize()
+    return CompiledCircuit(
+        r1cs=r1cs,
+        witness=witness,
+        public_values=public_values,
+        public_indices=list(builder.public_indices),
+    )
+
+
+def random_circuit(
+    field: PrimeField,
+    num_gates: int,
+    num_inputs: int = 8,
+    seed: int = 0,
+) -> CompiledCircuit:
+    """A pseudorandom circuit with exactly ``num_gates`` multiplications.
+
+    Used by benchmarks where the paper sweeps the scale S: each gate
+    multiplies two random linear combinations of earlier wires, so the
+    wiring is dense enough to be non-trivial but nnz stays O(S).
+    """
+    if num_gates < 2:
+        raise CircuitError("need at least two gates")
+    rng = random.Random(f"random-circuit/{seed}/{num_gates}")
+    cb = CircuitBuilder(field)
+    wires = cb.private_inputs(field.rand_vector(max(1, num_inputs), rng))
+    for _ in range(num_gates - 1):
+        a = rng.choice(wires)
+        b = rng.choice(wires)
+        # Mix in a second term half the time to exercise linear combos.
+        if rng.random() < 0.5 and len(wires) >= 2:
+            a = cb.linear_combination(
+                [(a, rng.randrange(1, 97)), (rng.choice(wires), 1)]
+            )
+        wires.append(cb.mul(a, b))
+        if len(wires) > 64:
+            wires = wires[-64:]
+    out = cb.mul(wires[-1], wires[0])
+    cb.expose_public(out)
+    return compile_builder(cb)

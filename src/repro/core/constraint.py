@@ -1,0 +1,111 @@
+"""Sum-check prover for the R1CS constraint polynomial.
+
+Sum-check #1 of the Spartan-style protocol proves
+
+    0 = Σ_{x ∈ {0,1}^m}  eq(τ, x) · ( Ãz(x)·B̃z(x) − C̃z(x) )
+
+The summand is a product-minus-product of multilinears: degree 3 per
+variable.  Each round emits the round polynomial's evaluations at
+``t = 0, 1, 2, 3`` and folds all four tables at the verifier's challenge.
+The generic degree-3 round checks of
+:func:`repro.sumcheck.verifier.verify_product_rounds` verify it — the
+verifier never needs to know the summand's internal structure, only its
+degree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import SumcheckError
+from ..field.prime_field import PrimeField
+
+DEGREE = 3
+
+
+class ConstraintSumcheckProver:
+    """Round-at-a-time prover for ``Σ eq·(az·bz − cz)``."""
+
+    def __init__(
+        self,
+        field: PrimeField,
+        eq_tab: Sequence[int],
+        az: Sequence[int],
+        bz: Sequence[int],
+        cz: Sequence[int],
+    ):
+        length = len(eq_tab)
+        n = length.bit_length() - 1
+        if length != 1 << n or n == 0:
+            raise SumcheckError(f"table length must be 2^n with n >= 1, got {length}")
+        if not (len(az) == len(bz) == len(cz) == length):
+            raise SumcheckError("all four tables must have equal length")
+        p = field.modulus
+        self.field = field
+        self.num_vars = n
+        self._eq = [v % p for v in eq_tab]
+        self._az = [v % p for v in az]
+        self._bz = [v % p for v in bz]
+        self._cz = [v % p for v in cz]
+        self._round = 0
+        self.claimed_sum = (
+            sum(e * (a * b - c) for e, a, b, c in zip(self._eq, az, bz, cz)) % p
+        )
+
+    @property
+    def rounds_remaining(self) -> int:
+        return self.num_vars - self._round
+
+    def round_polynomial(self) -> List[int]:
+        """Evaluations of this round's g at t = 0, 1, 2, 3."""
+        if self._round >= self.num_vars:
+            raise SumcheckError("sum-check already complete")
+        p = self.field.modulus
+        half = len(self._eq) // 2
+        evals = [0, 0, 0, 0]
+        eq, az, bz, cz = self._eq, self._az, self._bz, self._cz
+        for b in range(half):
+            e_lo, e_hi = eq[b], eq[b + half]
+            a_lo, a_hi = az[b], az[b + half]
+            b_lo, b_hi = bz[b], bz[b + half]
+            c_lo, c_hi = cz[b], cz[b + half]
+            de = e_hi - e_lo
+            da = a_hi - a_lo
+            db = b_hi - b_lo
+            dc = c_hi - c_lo
+            e_t, a_t, b_t, c_t = e_lo, a_lo, b_lo, c_lo
+            for t in range(DEGREE + 1):
+                evals[t] = (evals[t] + e_t * (a_t * b_t - c_t)) % p
+                if t < DEGREE:
+                    e_t += de
+                    a_t += da
+                    b_t += db
+                    c_t += dc
+        return evals
+
+    def fold(self, r: int) -> None:
+        if self._round >= self.num_vars:
+            raise SumcheckError("sum-check already complete")
+        p = self.field.modulus
+        half = len(self._eq) // 2
+        r %= p
+        for name in ("_eq", "_az", "_bz", "_cz"):
+            tab = getattr(self, name)
+            setattr(
+                self,
+                name,
+                [(tab[b] + r * (tab[b + half] - tab[b])) % p for b in range(half)],
+            )
+        self._round += 1
+
+    def final_values(self) -> Tuple[int, int, int, int]:
+        """(eq, Ãz, B̃z, C̃z) at the fully bound point."""
+        if self._round != self.num_vars:
+            raise SumcheckError(
+                f"{self.rounds_remaining} rounds remaining; cannot finalize"
+            )
+        return (self._eq[0], self._az[0], self._bz[0], self._cz[0])
+
+    def final_value(self) -> int:
+        e, a, b, c = self.final_values()
+        return (e * (a * b - c)) % self.field.modulus

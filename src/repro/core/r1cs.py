@@ -1,0 +1,243 @@
+"""Rank-1 constraint systems (R1CS) over prime fields.
+
+The paper reports circuit scale as "the number of multiplication gates in
+the circuit compiled from the function to be proved" (§6.3).  Each
+multiplication gate compiles to exactly one R1CS constraint
+``⟨A_i, z⟩ · ⟨B_i, z⟩ = ⟨C_i, z⟩`` (addition gates fold into the linear
+combinations for free), so R1CS constraint count is the paper's scale S.
+
+Matrices are sparse (list of ``(column, coeff)`` per row).  Beyond plain
+satisfaction checking, this module implements the two algebraic queries
+the Spartan-style protocol needs:
+
+* ``matvec`` — the tables Az, Bz, Cz feeding sum-check #1.
+* ``combined_row_table`` / ``mle_eval`` — the O(nnz) computations of
+  ``Σ_i eq(r_x, i)·M[i][·]`` and ``M̃(r_x, r_y)`` for sum-check #2 and the
+  verifier's final check.
+
+Constraint and variable counts are padded to powers of two (hypercube
+domains); index 0 of the witness vector is pinned to the constant 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import CircuitError
+from ..field.multilinear import eq_table
+from ..field.prime_field import PrimeField
+
+SparseRow = List[Tuple[int, int]]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (with next_power_of_two(0) == 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+class R1CS:
+    """A sparse R1CS instance ``(Az) ∘ (Bz) = Cz``.
+
+    Attributes:
+        field:            The prime field.
+        num_constraints:  Logical (unpadded) constraint count — the scale S.
+        num_vars:         Logical witness length (including the leading 1).
+        a_rows/b_rows/c_rows: Sparse rows, one triple per constraint.
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        num_vars: int,
+        a_rows: List[SparseRow],
+        b_rows: List[SparseRow],
+        c_rows: List[SparseRow],
+    ):
+        if not (len(a_rows) == len(b_rows) == len(c_rows)):
+            raise CircuitError("A, B, C must have equal row counts")
+        if num_vars < 1:
+            raise CircuitError("witness must contain at least the constant 1")
+        self.field = field
+        self.num_constraints = len(a_rows)
+        self.num_vars = num_vars
+        self.a_rows = a_rows
+        self.b_rows = b_rows
+        self.c_rows = c_rows
+        for rows in (a_rows, b_rows, c_rows):
+            for i, row in enumerate(rows):
+                for j, coeff in row:
+                    if not 0 <= j < num_vars:
+                        raise CircuitError(f"constraint {i}: column {j} out of range")
+                    if coeff % field.modulus == 0:
+                        raise CircuitError(f"constraint {i}: zero coefficient stored")
+
+    # -- padded shapes --------------------------------------------------------
+
+    @property
+    def padded_constraints(self) -> int:
+        return next_power_of_two(max(2, self.num_constraints))
+
+    @property
+    def constraint_vars(self) -> int:
+        """m such that constraints live on {0,1}^m."""
+        return self.padded_constraints.bit_length() - 1
+
+    @property
+    def padded_vars(self) -> int:
+        return next_power_of_two(max(4, self.num_vars))
+
+    @property
+    def witness_vars(self) -> int:
+        """s such that the witness lives on {0,1}^s."""
+        return self.padded_vars.bit_length() - 1
+
+    def nnz(self) -> int:
+        return sum(
+            len(r)
+            for rows in (self.a_rows, self.b_rows, self.c_rows)
+            for r in rows
+        )
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def pad_witness(self, z: Sequence[int]) -> List[int]:
+        if len(z) != self.num_vars:
+            raise CircuitError(
+                f"witness length {len(z)} != num_vars {self.num_vars}"
+            )
+        p = self.field.modulus
+        if z[0] % p != 1:
+            raise CircuitError("witness[0] must be the constant 1")
+        padded = [v % p for v in z] + [0] * (self.padded_vars - len(z))
+        return padded
+
+    def _matvec(self, rows: List[SparseRow], z: Sequence[int]) -> List[int]:
+        p = self.field.modulus
+        out = [0] * self.padded_constraints
+        for i, row in enumerate(rows):
+            acc = 0
+            for j, coeff in row:
+                acc += coeff * z[j]
+            out[i] = acc % p
+        return out
+
+    def matvec_tables(
+        self, z: Sequence[int]
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """Return (Az, Bz, Cz) over the padded constraint domain."""
+        padded = self.pad_witness(z) if len(z) == self.num_vars else list(z)
+        return (
+            self._matvec(self.a_rows, padded),
+            self._matvec(self.b_rows, padded),
+            self._matvec(self.c_rows, padded),
+        )
+
+    def is_satisfied(self, z: Sequence[int]) -> bool:
+        p = self.field.modulus
+        az, bz, cz = self.matvec_tables(z)
+        return all((a * b - c) % p == 0 for a, b, c in zip(az, bz, cz))
+
+    def violations(self, z: Sequence[int]) -> List[int]:
+        """Indices of unsatisfied constraints (diagnostic helper)."""
+        p = self.field.modulus
+        az, bz, cz = self.matvec_tables(z)
+        return [
+            i
+            for i, (a, b, c) in enumerate(zip(az, bz, cz))
+            if (a * b - c) % p != 0
+        ]
+
+    # -- multilinear-extension queries ---------------------------------------------------
+
+    def combined_row_table(
+        self,
+        eq_x: Sequence[int],
+        coeff_a: int,
+        coeff_b: int,
+        coeff_c: int,
+    ) -> List[int]:
+        """Table ``T[j] = Σ_i eq_x[i]·(cA·A + cB·B + cC·C)[i][j]``.
+
+        O(nnz) — this is the second sum-check's left factor.
+        ``eq_x`` must cover the padded constraint domain.
+        """
+        if len(eq_x) != self.padded_constraints:
+            raise CircuitError(
+                f"eq_x length {len(eq_x)} != padded constraints "
+                f"{self.padded_constraints}"
+            )
+        p = self.field.modulus
+        out = [0] * self.padded_vars
+        for coeff, rows in (
+            (coeff_a, self.a_rows),
+            (coeff_b, self.b_rows),
+            (coeff_c, self.c_rows),
+        ):
+            coeff %= p
+            if coeff == 0:
+                continue
+            for i, row in enumerate(rows):
+                scale = (coeff * eq_x[i]) % p
+                if scale == 0:
+                    continue
+                for j, v in row:
+                    out[j] = (out[j] + scale * v) % p
+        return out
+
+    def mle_eval(
+        self, rows: List[SparseRow], eq_x: Sequence[int], eq_y: Sequence[int]
+    ) -> int:
+        """``M̃(r_x, r_y) = Σ_{(i,j,v)} v·eq_x[i]·eq_y[j]`` in O(nnz)."""
+        p = self.field.modulus
+        total = 0
+        for i, row in enumerate(rows):
+            ex = eq_x[i]
+            if ex == 0:
+                continue
+            acc = 0
+            for j, v in row:
+                acc += v * eq_y[j]
+            total = (total + ex * acc) % p
+        return total
+
+    def mle_evals_abc(
+        self, point_x: Sequence[int], point_y: Sequence[int]
+    ) -> Tuple[int, int, int]:
+        """Evaluate Ã, B̃, C̃ at ``(point_x, point_y)`` (verifier's check)."""
+        eq_x = eq_table(self.field, point_x)
+        eq_y = eq_table(self.field, point_y)
+        return (
+            self.mle_eval(self.a_rows, eq_x, eq_y),
+            self.mle_eval(self.b_rows, eq_x, eq_y),
+            self.mle_eval(self.c_rows, eq_x, eq_y),
+        )
+
+    # -- identity -------------------------------------------------------------------------
+
+    def digest(self, hasher=None) -> bytes:
+        """A hash binding the constraint system (absorbed into transcripts)."""
+        from ..hashing.hashers import get_hasher
+
+        hasher = hasher or get_hasher("sha256-hw")
+        parts = [
+            self.field.modulus.to_bytes(64, "little"),
+            self.num_constraints.to_bytes(8, "little"),
+            self.num_vars.to_bytes(8, "little"),
+        ]
+        for rows in (self.a_rows, self.b_rows, self.c_rows):
+            for i, row in enumerate(rows):
+                for j, v in row:
+                    parts.append(
+                        i.to_bytes(8, "little")
+                        + j.to_bytes(8, "little")
+                        + self.field.to_bytes(v)
+                    )
+        return hasher.hash_bytes(b"".join(parts))
+
+    def __repr__(self) -> str:
+        return (
+            f"R1CS(S={self.num_constraints}, vars={self.num_vars}, "
+            f"nnz={self.nnz()}, field={self.field.name})"
+        )

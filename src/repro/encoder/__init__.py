@@ -1,0 +1,50 @@
+"""Linear-time encoder module (system S5 in DESIGN.md; paper §2.4, §3.3).
+
+* :class:`SparseMatrix` — field sparse matrices (the bipartite graphs).
+* :class:`SpielmanEncoder` — recursive (Figure 3) and two-pass iterative
+  (Figure 6) encodings, deterministic from a seed, with a vectorised
+  Mersenne-31 path.
+* Warp scheduling: bucket-sorted row→warp assignment and its SIMD cost
+  metrics (§3.3).
+"""
+
+from .analysis import (
+    RateSummary,
+    StageStats,
+    audit,
+    expansion_profile,
+    rate_summary,
+    sample_min_weight,
+)
+from .schedule import (
+    WARP_SIZE,
+    WarpAssignment,
+    WarpSchedule,
+    bucket_sort_rows,
+    sorted_schedule,
+    sorting_speedup,
+    unsorted_schedule,
+)
+from .sparse import MAX_ROW_WEIGHT, SparseMatrix
+from .spielman import EncoderParams, EncoderStage, SpielmanEncoder
+
+__all__ = [
+    "SparseMatrix",
+    "MAX_ROW_WEIGHT",
+    "SpielmanEncoder",
+    "EncoderParams",
+    "EncoderStage",
+    "bucket_sort_rows",
+    "sorted_schedule",
+    "unsorted_schedule",
+    "sorting_speedup",
+    "WarpSchedule",
+    "WarpAssignment",
+    "WARP_SIZE",
+    "audit",
+    "expansion_profile",
+    "sample_min_weight",
+    "rate_summary",
+    "RateSummary",
+    "StageStats",
+]

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the BatchZK reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class FieldError(ReproError):
+    """Invalid field construction or cross-field operation."""
+
+
+class FieldMismatchError(FieldError):
+    """Two elements from different fields were combined."""
+
+    def __init__(self, left: object, right: object) -> None:
+        super().__init__(
+            f"cannot combine elements of different fields: {left!r} vs {right!r}"
+        )
+
+
+class NonInvertibleError(FieldError):
+    """Attempted to invert zero (or a non-unit)."""
+
+
+class HashError(ReproError):
+    """Malformed input to a hash primitive."""
+
+
+class MerkleError(ReproError):
+    """Invalid Merkle tree construction or proof."""
+
+
+class SumcheckError(ReproError):
+    """Sum-check proving/verification failure."""
+
+
+class EncodingError(ReproError):
+    """Linear-time encoder failure (bad parameters, wrong lengths)."""
+
+
+class CommitmentError(ReproError):
+    """Polynomial-commitment failure (commit/open/verify)."""
+
+
+class CircuitError(ReproError):
+    """Arithmetic-circuit construction or evaluation failure."""
+
+
+class ProofError(ReproError):
+    """Proof assembly or deserialization failure."""
+
+
+class VerificationError(ReproError):
+    """A proof failed verification.
+
+    Verifiers in this library return ``bool`` on the happy path; this error
+    is raised only for *structurally* invalid proofs (wrong shapes, missing
+    parts), never for a well-formed proof of a false statement.
+    """
+
+
+class SimulationError(ReproError):
+    """GPU-simulator misconfiguration or invariant violation."""
+
+
+class PipelineError(ReproError):
+    """Pipeline scheduler misconfiguration."""
+
+
+class ZkmlError(ReproError):
+    """Verifiable-ML application failure."""

@@ -1,0 +1,182 @@
+"""Vectorised arithmetic over the Mersenne-31 field (p = 2^31 − 1).
+
+This is the numpy fast path used where the paper's workloads are
+throughput-bound: the linear-time encoder's vector/matrix products, the
+sum-check table folds, and the functional micro-benchmarks.  Products of two
+31-bit residues fit in a ``uint64``, so a single multiply plus the Mersenne
+folding trick ``x ≡ (x & p) + (x >> 31) (mod p)`` gives exact modular
+arithmetic with no Python-level loops.
+
+The API mirrors the raw-int layer of :class:`~repro.field.prime_field.PrimeField`
+but operates on whole ``numpy.ndarray`` vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import FieldError, NonInvertibleError
+from .primes import MERSENNE31
+
+P31 = np.uint64(MERSENNE31)
+_P31_INT = MERSENNE31
+
+ArrayLike = Union[np.ndarray, Sequence[int]]
+
+
+def as_f31(values: ArrayLike) -> np.ndarray:
+    """Coerce to a ``uint64`` array of canonical Mersenne-31 residues."""
+    arr = np.asarray(values, dtype=np.uint64)
+    return arr % P31
+
+
+def _reduce_once(x: np.ndarray) -> np.ndarray:
+    """One Mersenne fold: maps values < 2^62 into [0, 2^32)."""
+    return (x & P31) + (x >> np.uint64(31))
+
+
+def _reduce_full(x: np.ndarray) -> np.ndarray:
+    """Full reduction of values < 2^62 to canonical residues in [0, p)."""
+    x = _reduce_once(x)
+    x = _reduce_once(x)
+    # x is now < p + something tiny; one conditional subtraction finishes.
+    return np.where(x >= P31, x - P31, x)
+
+
+def f31_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise modular addition of residue arrays."""
+    s = a + b
+    return np.where(s >= P31, s - P31, s)
+
+
+def f31_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise modular subtraction of residue arrays."""
+    return np.where(a >= b, a - b, a + P31 - b)
+
+
+def f31_neg(a: np.ndarray) -> np.ndarray:
+    """Elementwise modular negation."""
+    return np.where(a == 0, a, P31 - a)
+
+
+def f31_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise modular multiplication (products fit uint64)."""
+    return _reduce_full(a * b)
+
+
+def f31_scale(c: int, a: np.ndarray) -> np.ndarray:
+    """Multiply every residue by the scalar ``c``."""
+    return _reduce_full(np.uint64(c % _P31_INT) * a)
+
+
+def f31_sum(a: np.ndarray) -> int:
+    """Sum of a residue vector, reduced mod p (exact, chunked)."""
+    # Each element < 2^31, so chunks of 2^31 elements cannot overflow uint64
+    # partial sums; for practical sizes one pass is fine, but we reduce
+    # defensively in 2^20-element chunks.
+    total = 0
+    chunk = 1 << 20
+    flat = a.reshape(-1)
+    for start in range(0, flat.size, chunk):
+        total += int(flat[start : start + chunk].sum(dtype=np.uint64))
+    return total % _P31_INT
+
+
+def f31_dot(a: np.ndarray, b: np.ndarray) -> int:
+    """Inner product mod p, chunked so uint64 partials never overflow."""
+    if a.shape != b.shape:
+        raise FieldError(f"dot shape mismatch: {a.shape} vs {b.shape}")
+    total = 0
+    chunk = 1 << 12  # products < 2^62; up to 4 fit before overflow — reduce first
+    flat_a = a.reshape(-1)
+    flat_b = b.reshape(-1)
+    for start in range(0, flat_a.size, chunk):
+        prod = f31_mul(flat_a[start : start + chunk], flat_b[start : start + chunk])
+        total += int(prod.sum(dtype=np.uint64))
+    return total % _P31_INT
+
+
+def f31_inv(a: int) -> int:
+    """Multiplicative inverse of one residue (Fermat)."""
+    a %= _P31_INT
+    if a == 0:
+        raise NonInvertibleError("0 has no inverse in F31")
+    return pow(a, _P31_INT - 2, _P31_INT)
+
+
+def f31_random(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform random residue vector of length ``n``."""
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, _P31_INT, size=n, dtype=np.uint64)
+
+
+class F31Vector:
+    """A vector of Mersenne-31 residues with field-vector semantics.
+
+    Thin convenience wrapper over the ``f31_*`` kernel functions; exists so
+    protocol code can be written against an object API when numpy-level
+    detail is noise.
+
+    >>> v = F31Vector([1, 2, 3])
+    >>> (v + v).tolist()
+    [2, 4, 6]
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, values: ArrayLike):
+        if isinstance(values, F31Vector):
+            self.data = values.data.copy()
+        else:
+            self.data = as_f31(values)
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+    def __getitem__(self, idx):
+        out = self.data[idx]
+        if isinstance(idx, (int, np.integer)):
+            return int(out)
+        return F31Vector(out)
+
+    def __add__(self, other: "F31Vector") -> "F31Vector":
+        return F31Vector(f31_add(self.data, other.data))
+
+    def __sub__(self, other: "F31Vector") -> "F31Vector":
+        return F31Vector(f31_sub(self.data, other.data))
+
+    def __mul__(self, other: Union["F31Vector", int]) -> "F31Vector":
+        if isinstance(other, F31Vector):
+            return F31Vector(f31_mul(self.data, other.data))
+        return F31Vector(f31_scale(int(other), self.data))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "F31Vector":
+        return F31Vector(f31_neg(self.data))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, F31Vector):
+            return NotImplemented
+        return self.data.shape == other.data.shape and bool(
+            np.array_equal(self.data, other.data)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - vectors rarely hashed
+        return hash(self.data.tobytes())
+
+    def dot(self, other: "F31Vector") -> int:
+        return f31_dot(self.data, other.data)
+
+    def sum(self) -> int:
+        return f31_sum(self.data)
+
+    def tolist(self) -> list:
+        return [int(x) for x in self.data]
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(int(x)) for x in self.data[:4])
+        tail = ", ..." if len(self) > 4 else ""
+        return f"F31Vector([{head}{tail}], n={len(self)})"

@@ -1,0 +1,39 @@
+"""GKR protocol for layered circuits (extension; paper Table 1's
+Libra/Virgo family).
+
+* :class:`LayeredCircuit`, :func:`random_layered_circuit`,
+  :func:`matmul_circuit` — circuit model.
+* :class:`GkrProver` / :class:`GkrVerifier` — the two-phase Libra-style
+  linear-time prover and the O(depth·width) verifier.
+"""
+
+from .circuit import (
+    ADD,
+    Gate,
+    LayeredCircuit,
+    MUL,
+    matmul_circuit,
+    random_layered_circuit,
+)
+from .committed import (
+    CommittedGkrProof,
+    CommittedGkrProver,
+    CommittedGkrVerifier,
+)
+from .protocol import GkrProof, GkrProver, GkrVerifier, LayerProof
+
+__all__ = [
+    "LayeredCircuit",
+    "Gate",
+    "ADD",
+    "MUL",
+    "random_layered_circuit",
+    "matmul_circuit",
+    "GkrProver",
+    "GkrVerifier",
+    "GkrProof",
+    "LayerProof",
+    "CommittedGkrProver",
+    "CommittedGkrVerifier",
+    "CommittedGkrProof",
+]

@@ -1,0 +1,230 @@
+"""Layered arithmetic circuits for the GKR protocol.
+
+The paper's "second category" protocols (Libra, Virgo, Virgo++ — Table 1)
+prove *layered* circuits with the GKR interactive proof: layer 0 is the
+output, the last layer is the input, and every gate in layer ``i`` reads
+two gates of layer ``i+1``.  The wiring of layer ``i`` is described by the
+multilinear predicates
+
+* ``add_i(z, x, y)`` — 1 iff gate ``z`` of layer ``i`` is an addition gate
+  with inputs ``x, y`` in layer ``i+1``;
+* ``mul_i(z, x, y)`` — likewise for multiplication,
+
+giving the layer identity the sum-check proves:
+
+    Ṽ_i(z) = Σ_{x,y} [ add_i(z,x,y)·(Ṽ_{i+1}(x) + Ṽ_{i+1}(y))
+                      + mul_i(z,x,y)·Ṽ_{i+1}(x)·Ṽ_{i+1}(y) ]
+
+Layer widths are padded to powers of two; padding gates are additions of
+input 0 with itself... no — padding gates are *absent* (the predicates are
+simply zero there), so padded values are 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+from ..field.prime_field import PrimeField
+
+ADD = "add"
+MUL = "mul"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``op`` over two gate indices of the next (lower) layer."""
+
+    op: str
+    left: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (ADD, MUL):
+            raise CircuitError(f"unknown gate op {self.op!r}")
+        if self.left < 0 or self.right < 0:
+            raise CircuitError("gate inputs must be non-negative indices")
+
+
+def _pad_vars(n: int) -> int:
+    """Variables needed to index n items (>= 1)."""
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+class LayeredCircuit:
+    """A layered circuit: ``layers[0]`` computes the output from
+    ``layers[1]``'s values, …, the deepest values are the inputs.
+
+    Attributes:
+        field:      The prime field.
+        layers:     ``layers[i]`` is the gate list of layer ``i`` (reading
+                    layer ``i+1``); there are ``depth`` gate layers.
+        input_size: Number of circuit inputs (the values of layer
+                    ``depth``).
+    """
+
+    def __init__(
+        self, field: PrimeField, layers: List[List[Gate]], input_size: int
+    ):
+        if not layers:
+            raise CircuitError("need at least one gate layer")
+        if input_size < 1:
+            raise CircuitError("need at least one input")
+        self.field = field
+        self.layers = layers
+        self.input_size = input_size
+        # Validate wiring: gates in layer i read layer i+1.
+        for i, gates in enumerate(layers):
+            below = (
+                len(layers[i + 1]) if i + 1 < len(layers) else input_size
+            )
+            if not gates:
+                raise CircuitError(f"layer {i} has no gates")
+            for g in gates:
+                if g.left >= below or g.right >= below:
+                    raise CircuitError(
+                        f"layer {i}: gate reads index >= {below}"
+                    )
+
+    # -- shapes ----------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def layer_width(self, i: int) -> int:
+        """Gate count of layer i (i == depth means the input layer)."""
+        if i == self.depth:
+            return self.input_size
+        return len(self.layers[i])
+
+    def layer_vars(self, i: int) -> int:
+        """k_i: hypercube variables indexing layer i."""
+        return _pad_vars(self.layer_width(i))
+
+    def total_gates(self) -> int:
+        return sum(len(gates) for gates in self.layers)
+
+    def mul_gates(self) -> int:
+        return sum(1 for gates in self.layers for g in gates if g.op == MUL)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, inputs: Sequence[int]) -> List[List[int]]:
+        """Return per-layer value tables, padded to powers of two.
+
+        ``values[i]`` holds layer i's values (``values[depth]`` = inputs);
+        every table has length ``2^{k_i}``.
+        """
+        if len(inputs) != self.input_size:
+            raise CircuitError(
+                f"expected {self.input_size} inputs, got {len(inputs)}"
+            )
+        p = self.field.modulus
+        values: List[List[int]] = [[] for _ in range(self.depth + 1)]
+        padded_in = [v % p for v in inputs]
+        padded_in += [0] * ((1 << self.layer_vars(self.depth)) - len(padded_in))
+        values[self.depth] = padded_in
+        for i in range(self.depth - 1, -1, -1):
+            below = values[i + 1]
+            table = []
+            for g in self.layers[i]:
+                a, b = below[g.left], below[g.right]
+                table.append((a + b) % p if g.op == ADD else (a * b) % p)
+            table += [0] * ((1 << self.layer_vars(i)) - len(table))
+            values[i] = table
+        return values
+
+    def outputs(self, inputs: Sequence[int]) -> List[int]:
+        """Unpadded output values."""
+        return self.evaluate(inputs)[0][: len(self.layers[0])]
+
+    def digest(self) -> bytes:
+        """Hash binding the circuit structure (for transcripts)."""
+        from ..hashing.hashers import get_hasher
+
+        parts = [
+            self.field.modulus.to_bytes(64, "little"),
+            self.input_size.to_bytes(8, "little"),
+        ]
+        for gates in self.layers:
+            for g in gates:
+                parts.append(
+                    (b"\x00" if g.op == ADD else b"\x01")
+                    + g.left.to_bytes(8, "little")
+                    + g.right.to_bytes(8, "little")
+                )
+            parts.append(b"|")
+        return get_hasher("sha256-hw").hash_bytes(b"".join(parts))
+
+    def __repr__(self) -> str:
+        widths = "x".join(str(self.layer_width(i)) for i in range(self.depth + 1))
+        return f"LayeredCircuit(depth={self.depth}, widths={widths})"
+
+
+def random_layered_circuit(
+    field: PrimeField,
+    depth: int = 3,
+    width: int = 8,
+    input_size: int = 8,
+    seed: int = 0,
+) -> LayeredCircuit:
+    """A random layered circuit with a mix of add and mul gates."""
+    rng = random.Random(f"gkr-circuit/{seed}/{depth}/{width}")
+    layers: List[List[Gate]] = []
+    below = input_size
+    widths = [width] * depth
+    for i, w in enumerate(widths):
+        src = widths[i + 1] if i + 1 < depth else input_size
+        layers.append(
+            [
+                Gate(
+                    op=rng.choice((ADD, MUL)),
+                    left=rng.randrange(src),
+                    right=rng.randrange(src),
+                )
+                for _ in range(w)
+            ]
+        )
+    return LayeredCircuit(field, layers, input_size)
+
+
+def matmul_circuit(field: PrimeField, n: int) -> LayeredCircuit:
+    """An n×n matrix-product circuit (the classic GKR benchmark).
+
+    Inputs: matrices A then B, row-major (2n² inputs).  Layer 1 computes
+    all n³ products A[i][k]·B[k][j]; layer 0 sums each row of n products
+    with a binary addition tree folded into ``log n`` layers.
+    """
+    if n < 2 or n & (n - 1):
+        raise CircuitError("matmul_circuit needs a power-of-two n >= 2")
+    a_off = 0
+    b_off = n * n
+
+    # Product layer: index (i, j, k) -> A[i*n+k] * B[k*n+j].
+    prod_gates = []
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                prod_gates.append(
+                    Gate(op=MUL, left=a_off + i * n + k, right=b_off + k * n + j)
+                )
+    layers = [prod_gates]
+
+    # Addition tree: repeatedly halve the k dimension.
+    width = n * n * n
+    stride = n
+    while stride > 1:
+        adds = []
+        for group in range(width // stride):
+            base = group * stride
+            for t in range(stride // 2):
+                adds.append(Gate(op=ADD, left=base + 2 * t, right=base + 2 * t + 1))
+        layers.insert(0, adds)
+        width //= 2
+        stride //= 2
+    return LayeredCircuit(field, layers, input_size=2 * n * n)

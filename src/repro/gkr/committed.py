@@ -1,0 +1,229 @@
+"""GKR over committed (private) inputs — the full Figure 1 workflow.
+
+Plain GKR (``repro.gkr.protocol``) runs in the delegation setting with
+public inputs.  The paper's protocols (Virgo, Orion) make the witness
+*private* by committing the input layer with the linear-code + Merkle
+polynomial commitment: the verifier's final input-layer checks become two
+PCS openings instead of direct MLE evaluations — which is precisely the
+composition the paper's Figure 1 draws (encoder + Merkle commit the
+witness, sum-check modules prove the function).
+
+Flow:
+
+1. prover commits the padded input table ``Ṽ_in`` (Brakedown PCS); the
+   Merkle root seeds the transcript ("random numbers … using the final
+   Merkle root as a seed", §4);
+2. standard GKR layers run, bound to the same transcript;
+3. the two surviving claims ``Ṽ_in(u)``, ``Ṽ_in(v)`` are opened against
+   the commitment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..commitment.brakedown import BrakedownPCS, Commitment, EvalProof
+from ..errors import CircuitError, SumcheckError
+from ..field.multilinear import eq_table
+from ..hashing.transcript import Transcript
+from ..sumcheck.prover import evaluation_point
+from .circuit import LayeredCircuit
+from .protocol import (
+    GkrProof,
+    LayerProof,
+    _AffineProductProver,
+    _mle_eval,
+    _phase1_tables,
+    _phase2_tables,
+    _replay_phase,
+    _run_phase,
+    _wiring_evals,
+)
+
+TRANSCRIPT_LABEL = b"repro/gkr-committed/v1"
+
+
+@dataclass(frozen=True)
+class CommittedGkrProof:
+    """GKR proof with committed inputs: layers + commitment + openings."""
+
+    commitment: Commitment
+    gkr: GkrProof
+    v_u_opening: EvalProof
+    v_v_opening: EvalProof
+
+    def size_field_elements(self) -> int:
+        return (
+            self.gkr.size_field_elements()
+            + self.v_u_opening.size_field_elements()
+            + self.v_v_opening.size_field_elements()
+        )
+
+
+def _input_pcs(circuit: LayeredCircuit, num_col_checks: int, seed: int) -> BrakedownPCS:
+    num_vars = circuit.layer_vars(circuit.depth)
+    if num_vars < 2:
+        raise CircuitError(
+            "committed GKR needs at least 4 (padded) inputs to commit"
+        )
+    return BrakedownPCS(
+        circuit.field, num_vars=num_vars, seed=seed, num_col_checks=num_col_checks
+    )
+
+
+class CommittedGkrProver:
+    """Proves circuit outputs over a *private* committed input vector."""
+
+    def __init__(
+        self,
+        circuit: LayeredCircuit,
+        num_col_checks: int = 12,
+        pcs_seed: int = 0,
+    ):
+        self.circuit = circuit
+        self.field = circuit.field
+        self.pcs = _input_pcs(circuit, num_col_checks, pcs_seed)
+        self._digest = circuit.digest()
+
+    def prove(self, inputs: Sequence[int]) -> CommittedGkrProof:
+        field = self.field
+        p = field.modulus
+        circuit = self.circuit
+        values = circuit.evaluate(inputs)
+        outputs = values[0][: len(circuit.layers[0])]
+        padded_in = values[circuit.depth]
+
+        commitment, state = self.pcs.commit(padded_in)
+        transcript = Transcript(TRANSCRIPT_LABEL)
+        transcript.absorb_bytes(b"circuit", self._digest)
+        transcript.absorb_bytes(b"commitment", commitment.root)
+        transcript.absorb_field_vector(b"outputs", field, outputs)
+
+        k0 = circuit.layer_vars(0)
+        z0 = transcript.challenge_field_vector(b"z0", field, k0)
+        eq_z = eq_table(field, z0)
+
+        layer_proofs: List[LayerProof] = []
+        u = v_pt = None
+        for i, gates in enumerate(circuit.layers):
+            v_below = values[i + 1]
+            p1, p2 = _phase1_tables(field, gates, eq_z, v_below)
+            phase1 = _AffineProductProver(field, list(v_below), p1, p2)
+            rounds1, ch1 = _run_phase(field, phase1, transcript, b"gkr/L%d/p1" % i)
+            u = evaluation_point(ch1)
+            v_u = phase1.final_v()
+            eq_u = eq_table(field, u)
+            q1, q2 = _phase2_tables(field, gates, eq_z, eq_u, v_u, len(v_below))
+            phase2 = _AffineProductProver(field, list(v_below), q1, q2)
+            rounds2, ch2 = _run_phase(field, phase2, transcript, b"gkr/L%d/p2" % i)
+            v_pt = evaluation_point(ch2)
+            v_v = phase2.final_v()
+            transcript.absorb_field_vector(b"gkr/claims", field, [v_u, v_v])
+            layer_proofs.append(
+                LayerProof(
+                    phase1_rounds=rounds1, phase2_rounds=rounds2, v_u=v_u, v_v=v_v
+                )
+            )
+            if i + 1 < circuit.depth:
+                alpha = transcript.challenge_field(b"gkr/alpha", field)
+                beta = transcript.challenge_field(b"gkr/beta", field)
+                eq_z = [
+                    (alpha * a + beta * b) % p
+                    for a, b in zip(eq_table(field, u), eq_table(field, v_pt))
+                ]
+
+        # Open the committed input polynomial at the two bound points.
+        v_u_opening = self.pcs.open(state, u, transcript)
+        v_v_opening = self.pcs.open(state, v_pt, transcript)
+        return CommittedGkrProof(
+            commitment=commitment,
+            gkr=GkrProof(outputs=outputs, layer_proofs=layer_proofs),
+            v_u_opening=v_u_opening,
+            v_v_opening=v_v_opening,
+        )
+
+
+class CommittedGkrVerifier:
+    """Verifies committed-input GKR proofs without seeing the inputs."""
+
+    def __init__(
+        self,
+        circuit: LayeredCircuit,
+        num_col_checks: int = 12,
+        pcs_seed: int = 0,
+    ):
+        self.circuit = circuit
+        self.field = circuit.field
+        self.pcs = _input_pcs(circuit, num_col_checks, pcs_seed)
+        self._digest = circuit.digest()
+
+    def verify(self, proof: CommittedGkrProof) -> bool:
+        field = self.field
+        p = field.modulus
+        circuit = self.circuit
+        gkr = proof.gkr
+        if len(gkr.layer_proofs) != circuit.depth:
+            return False
+        if len(gkr.outputs) != len(circuit.layers[0]):
+            return False
+
+        transcript = Transcript(TRANSCRIPT_LABEL)
+        transcript.absorb_bytes(b"circuit", self._digest)
+        transcript.absorb_bytes(b"commitment", proof.commitment.root)
+        transcript.absorb_field_vector(b"outputs", field, list(gkr.outputs))
+
+        k0 = circuit.layer_vars(0)
+        z0 = transcript.challenge_field_vector(b"z0", field, k0)
+        padded_out = list(gkr.outputs) + [0] * ((1 << k0) - len(gkr.outputs))
+        claim = _mle_eval(field, padded_out, z0)
+
+        eq_z_points = [(z0, 1)]
+        u = v_pt = None
+        final_u = final_v = None
+        for i, (gates, lp) in enumerate(zip(circuit.layers, gkr.layer_proofs)):
+            k_next = circuit.layer_vars(i + 1)
+            if len(lp.phase1_rounds) != k_next or len(lp.phase2_rounds) != k_next:
+                return False
+            try:
+                mid, ch1 = _replay_phase(
+                    field, claim, lp.phase1_rounds, transcript, b"gkr/L%d/p1" % i
+                )
+                final, ch2 = _replay_phase(
+                    field, mid, lp.phase2_rounds, transcript, b"gkr/L%d/p2" % i
+                )
+            except SumcheckError:
+                return False
+            u = evaluation_point(ch1)
+            v_pt = evaluation_point(ch2)
+            transcript.absorb_field_vector(b"gkr/claims", field, [lp.v_u, lp.v_v])
+            eq_u = eq_table(field, u)
+            eq_v = eq_table(field, v_pt)
+            eq_z = [0] * (1 << circuit.layer_vars(i))
+            for point, coeff in eq_z_points:
+                table = eq_table(field, point)
+                for g in range(len(eq_z)):
+                    eq_z[g] = (eq_z[g] + coeff * table[g]) % p
+            add_val, mul_val = _wiring_evals(field, gates, eq_z, eq_u, eq_v)
+            expected = (add_val * (lp.v_u + lp.v_v) + mul_val * lp.v_u * lp.v_v) % p
+            if final != expected:
+                return False
+            if i + 1 < circuit.depth:
+                alpha = transcript.challenge_field(b"gkr/alpha", field)
+                beta = transcript.challenge_field(b"gkr/beta", field)
+                claim = (alpha * lp.v_u + beta * lp.v_v) % p
+                eq_z_points = [(u, alpha), (v_pt, beta)]
+            else:
+                final_u, final_v = lp.v_u, lp.v_v
+
+        # Input layer: check the claims against the COMMITMENT (not the
+        # inputs — the verifier never sees them).
+        if not self.pcs.verify(
+            proof.commitment, u, final_u, proof.v_u_opening, transcript
+        ):
+            return False
+        if not self.pcs.verify(
+            proof.commitment, v_pt, final_v, proof.v_v_opening, transcript
+        ):
+            return False
+        return True

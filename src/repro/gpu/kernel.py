@@ -1,0 +1,136 @@
+"""Kernels, stages and thread allocations for the simulated GPU.
+
+The simulator's unit of scheduling is a :class:`KernelStage`: a fixed
+piece of a module's computation (one Merkle layer, one sum-check round,
+one encoder pipeline stage) with a known work-unit count, per-unit cycle
+cost and host↔device byte traffic.  The paper's two disciplines differ in
+how stages map to kernels:
+
+* **intuitive** (Figure 4a): one kernel per *task*, executing all of its
+  stages serially;
+* **pipelined** (Figure 4b): one persistent kernel per *stage*, with tasks
+  streaming through.
+
+Thread allocation follows §4: threads proportional to stage work so every
+thread carries the same number of work units per beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class KernelStage:
+    """One fixed stage of a module's computation.
+
+    Attributes:
+        name:            Human-readable stage id ("merkle/layer3").
+        work_units:      Work units *per task* (hashes, entries, MACs).
+        cycles_per_unit: Effective core-cycles per work unit.
+        bytes_in:        Host→device bytes per task entering this stage.
+        bytes_out:       Device→host bytes per task leaving this stage.
+        memory_bytes:    Device memory this stage's buffers occupy per task.
+    """
+
+    name: str
+    work_units: int
+    cycles_per_unit: float
+    bytes_in: int = 0
+    bytes_out: int = 0
+    memory_bytes: int = 0
+    #: Work-unit kind ("hash", "entry", "mac", "field_mul") — lets the CPU
+    #: baseline runner price the same graph with CPU per-unit rates.
+    unit: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.work_units < 0:
+            raise SimulationError(f"stage {self.name}: negative work")
+        if self.cycles_per_unit <= 0:
+            raise SimulationError(f"stage {self.name}: non-positive unit cost")
+
+    @property
+    def total_cycles(self) -> float:
+        return self.work_units * self.cycles_per_unit
+
+    def duration_cycles(self, threads: int) -> float:
+        """Cycles to process one task's stage work on ``threads`` threads."""
+        if threads <= 0:
+            raise SimulationError(f"stage {self.name}: no threads allocated")
+        if self.work_units == 0:
+            return 0.0
+        waves = -(-self.work_units // threads)  # ceil division
+        return waves * self.cycles_per_unit
+
+
+@dataclass(frozen=True)
+class ModuleGraph:
+    """A module's ordered stage list — the unit the schedulers consume."""
+
+    name: str
+    stages: List[KernelStage]
+
+    def total_work_cycles(self) -> float:
+        return sum(s.total_cycles for s in self.stages)
+
+    def total_bytes_in(self) -> int:
+        return sum(s.bytes_in for s in self.stages)
+
+    def total_bytes_out(self) -> int:
+        return sum(s.bytes_out for s in self.stages)
+
+    def peak_memory_bytes(self) -> int:
+        return sum(s.memory_bytes for s in self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+
+def allocate_threads_proportional(
+    stages: Sequence[KernelStage], total_threads: int
+) -> List[int]:
+    """Split a thread budget across stages proportionally to stage work.
+
+    This is the allocation rule of §4 ("allocate M/2 threads to the first
+    layer with N hashes, M/4 to the second…"): every stage receives
+    threads in proportion to its per-task cycle count, with a floor of one
+    thread per non-empty stage, so each thread ends up with an (almost)
+    equal number of cycles per beat.
+    """
+    import heapq
+
+    if total_threads < len(stages):
+        raise SimulationError(
+            f"{total_threads} threads cannot cover {len(stages)} stages"
+        )
+    # Greedy minimax: seed one thread per stage, then repeatedly give the
+    # next thread to the stage currently pacing the beat.  This matches the
+    # proportional rule of §4 in the limit and, unlike naive rounding, never
+    # lets a floor-quantized small stage stall the pipeline.
+    alloc = [1] * len(stages)
+    heap = []
+    for i, stage in enumerate(stages):
+        heap.append((-stage.duration_cycles(1), i))
+    heapq.heapify(heap)
+    for _ in range(total_threads - len(stages)):
+        neg_dur, i = heapq.heappop(heap)
+        alloc[i] += 1
+        heapq.heappush(heap, (-stages[i].duration_cycles(alloc[i]), i))
+    return alloc
+
+
+def allocate_threads_uniform(
+    stages: Sequence[KernelStage], total_threads: int
+) -> List[int]:
+    """The naive uniform split (ablation baseline for the §4 rule)."""
+    if total_threads < len(stages):
+        raise SimulationError(
+            f"{total_threads} threads cannot cover {len(stages)} stages"
+        )
+    base = total_threads // len(stages)
+    alloc = [base] * len(stages)
+    alloc[0] += total_threads - base * len(stages)
+    return alloc

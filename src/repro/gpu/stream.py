@@ -1,0 +1,75 @@
+"""CUDA-stream transfer/compute overlap model (paper §3.1, §4, Table 9).
+
+The dynamic loading discipline moves a large volume of data per pipeline
+beat (inputs for the entering task, intermediate Merkle layers leaving).
+With **multi-stream** execution the copy engines run concurrently with the
+compute kernels, so one beat costs ``max(comm, comp)`` plus a small sync
+epsilon; without it, ``comm + comp``.  Table 9 reports exactly these three
+quantities per device; this module computes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .device import GpuSpec
+
+
+@dataclass(frozen=True)
+class BeatTiming:
+    """Per-beat timing of one pipeline cycle (Table 9's columns)."""
+
+    comm_bytes: int
+    comm_seconds: float
+    comp_seconds: float
+    overall_seconds: float
+
+    @property
+    def overlap_saving_seconds(self) -> float:
+        """Time saved versus serializing the transfer after the compute."""
+        return (self.comm_seconds + self.comp_seconds) - self.overall_seconds
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of communication hidden under computation."""
+        if self.comm_seconds == 0:
+            return 1.0
+        return min(1.0, self.overlap_saving_seconds / self.comm_seconds)
+
+
+class TransferEngine:
+    """Models the host↔device copy engines of one device."""
+
+    def __init__(
+        self,
+        device: GpuSpec,
+        multi_stream: bool = True,
+        sync_overhead_fraction: float = 0.025,
+    ):
+        if sync_overhead_fraction < 0:
+            raise SimulationError("sync overhead cannot be negative")
+        self.device = device
+        self.multi_stream = multi_stream
+        self.sync_overhead_fraction = sync_overhead_fraction
+        self.total_bytes = 0
+        self.total_comm_seconds = 0.0
+
+    def beat(self, comm_bytes: int, comp_seconds: float) -> BeatTiming:
+        """Time one pipeline beat moving ``comm_bytes`` while computing."""
+        if comm_bytes < 0 or comp_seconds < 0:
+            raise SimulationError("negative beat inputs")
+        comm_seconds = self.device.transfer_seconds(comm_bytes)
+        if self.multi_stream:
+            base = max(comm_seconds, comp_seconds)
+            overall = base * (1.0 + self.sync_overhead_fraction)
+        else:
+            overall = comm_seconds + comp_seconds
+        self.total_bytes += comm_bytes
+        self.total_comm_seconds += comm_seconds
+        return BeatTiming(
+            comm_bytes=comm_bytes,
+            comm_seconds=comm_seconds,
+            comp_seconds=comp_seconds,
+            overall_seconds=overall,
+        )

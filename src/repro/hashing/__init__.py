@@ -1,0 +1,45 @@
+"""Hashing substrate (system S2 in DESIGN.md).
+
+* From-scratch SHA-256 (:mod:`repro.hashing.sha256`) incl. the raw 64-byte
+  block compression used by Merkle interior nodes.
+* A hasher registry (:mod:`repro.hashing.hashers`) with ``sha256``,
+  ``sha256-hw`` (hashlib-backed, bit-identical) and ``quick`` (fast
+  non-cryptographic) backends.
+* A Fiat–Shamir :class:`Transcript`.
+"""
+
+from .hashers import DIGEST_SIZE, Hasher, available_hashers, get_hasher
+from .mimc import (
+    MimcPermutation,
+    MimcSponge,
+    default_rounds,
+    derive_round_constants,
+    mimc_circuit_encrypt,
+    mimc_gate_count,
+    mimc_merkle_root,
+    power_is_permutation,
+    select_alpha,
+)
+from .sha256 import SHA256_ROUNDS, Sha256, compress_block, sha256
+from .transcript import Transcript
+
+__all__ = [
+    "MimcPermutation",
+    "MimcSponge",
+    "power_is_permutation",
+    "select_alpha",
+    "default_rounds",
+    "derive_round_constants",
+    "mimc_circuit_encrypt",
+    "mimc_gate_count",
+    "mimc_merkle_root",
+    "Sha256",
+    "sha256",
+    "compress_block",
+    "SHA256_ROUNDS",
+    "Hasher",
+    "get_hasher",
+    "available_hashers",
+    "DIGEST_SIZE",
+    "Transcript",
+]

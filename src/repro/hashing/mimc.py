@@ -1,0 +1,198 @@
+"""MiMC: an algebraic, circuit-friendly hash over prime fields.
+
+SHA-256 is cheap on GPUs but brutal *inside* a circuit (~25k gates per
+compression).  ZKP systems therefore often commit with an algebraic hash
+whose round function is native field arithmetic.  We implement MiMC
+(Albrecht et al.) with a field-adaptive S-box and the Miyaguchi–Preneel
+mode:
+
+* permutation: ``x_{i+1} = (x_i + k + c_i)^α`` for ``r`` rounds, where
+  ``α`` is the smallest odd exponent with ``gcd(α, p−1) = 1`` (so the
+  power map is a bijection) and ``r = ceil(log_α p)``; round constants
+  derive from SHA-256;
+* hash: a sponge over field elements, compressing with
+  ``H(h, m) = E_h(m) + m + h``.
+
+The adaptive α matters: for BN254's scalar field α = 5 (the Poseidon
+choice), but Mersenne primes are hostile — ``p − 1 = 2·(2^60 − 1)`` for
+M61 is divisible by every ``2^d − 1`` with ``d | 60``, so the smallest
+valid exponent is 17.  :func:`select_alpha` computes it per field.
+
+:func:`mimc_circuit_encrypt` builds the same permutation *inside* a
+:class:`~repro.core.circuit.CircuitBuilder` via square-and-multiply, and
+the test suite proves a real preimage-knowledge statement with it — the
+canonical ZK-hash use case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import HashError
+from ..field.prime_field import PrimeField
+from .sha256 import sha256
+
+
+def power_is_permutation(modulus: int, alpha: int) -> bool:
+    """x -> x^alpha permutes GF(p) iff gcd(alpha, p−1) == 1."""
+    return math.gcd(alpha, modulus - 1) == 1
+
+
+def select_alpha(modulus: int, limit: int = 1000) -> int:
+    """Smallest odd exponent >= 3 whose power map is a bijection."""
+    for alpha in range(3, limit, 2):
+        if power_is_permutation(modulus, alpha):
+            return alpha
+    raise HashError(f"no usable S-box exponent below {limit} for p={modulus}")
+
+
+def default_rounds(modulus: int, alpha: int) -> int:
+    """ceil(log_alpha p), the standard MiMC round count."""
+    return max(2, math.ceil(math.log(modulus, alpha)))
+
+
+def derive_round_constants(
+    field: PrimeField, rounds: int, seed: bytes = b"repro/mimc/v1"
+) -> List[int]:
+    """Nothing-up-my-sleeve constants: c_i = SHA-256(seed ‖ i) mod p.
+
+    The first constant is pinned to 0 (the MiMC convention).
+    """
+    constants = [0]
+    for i in range(1, rounds):
+        digest = sha256(seed + i.to_bytes(4, "little"))
+        constants.append(int.from_bytes(digest, "little") % field.modulus)
+    return constants
+
+
+class MimcPermutation:
+    """The keyed MiMC permutation E_k over one field element."""
+
+    def __init__(
+        self,
+        field: PrimeField,
+        rounds: Optional[int] = None,
+        alpha: Optional[int] = None,
+        seed: bytes = b"repro/mimc/v1",
+    ):
+        self.field = field
+        self.alpha = alpha if alpha is not None else select_alpha(field.modulus)
+        if not power_is_permutation(field.modulus, self.alpha):
+            raise HashError(
+                f"x^{self.alpha} is not a permutation of {field.name} "
+                f"(gcd(alpha, p-1) != 1)"
+            )
+        self.rounds = rounds or default_rounds(field.modulus, self.alpha)
+        self.constants = derive_round_constants(field, self.rounds, seed)
+
+    def encrypt(self, key: int, x: int) -> int:
+        """E_k(x): r rounds of (x + k + c_i)^α, plus the final key add."""
+        p = self.field.modulus
+        key %= p
+        x %= p
+        for c in self.constants:
+            x = pow((x + key + c) % p, self.alpha, p)
+        return (x + key) % p
+
+    def compress(self, h: int, m: int) -> int:
+        """Miyaguchi–Preneel: H' = E_h(m) + m + h."""
+        p = self.field.modulus
+        return (self.encrypt(h, m) + m + h) % p
+
+
+class MimcSponge:
+    """Absorb-many / squeeze-one sponge built on the MP compression.
+
+    >>> from repro.field import DEFAULT_FIELD
+    >>> s = MimcSponge(DEFAULT_FIELD)
+    >>> s.hash([1, 2, 3]) == s.hash([1, 2, 3])
+    True
+    >>> s.hash([1, 2, 3]) != s.hash([3, 2, 1])
+    True
+    """
+
+    def __init__(self, field: PrimeField, rounds: Optional[int] = None):
+        self.field = field
+        self.permutation = MimcPermutation(field, rounds)
+        # Domain-separated IV.
+        self._iv = (
+            int.from_bytes(sha256(b"repro/mimc/iv"), "little") % field.modulus
+        )
+
+    def hash(self, values: Sequence[int]) -> int:
+        """Digest a sequence of field elements to one field element.
+
+        The length is absorbed first so [1] and [1, 0] hash differently.
+        """
+        state = self.permutation.compress(self._iv, len(values))
+        for v in values:
+            state = self.permutation.compress(state, v % self.field.modulus)
+        return state
+
+    def hash_pair(self, left: int, right: int) -> int:
+        """2-to-1 compression for Merkle-style trees over field elements."""
+        return self.permutation.compress(
+            self.permutation.compress(self._iv, left), right
+        )
+
+
+def mimc_merkle_root(field: PrimeField, leaves: Sequence[int]) -> int:
+    """A Merkle root over field elements using the MiMC 2-to-1 hash.
+
+    Pads to a power of two with zeros; a companion to the byte-oriented
+    :class:`~repro.merkle.MerkleTree` for algebraic commitments.
+    """
+    if not leaves:
+        raise HashError("cannot hash zero leaves")
+    sponge = MimcSponge(field)
+    layer = [v % field.modulus for v in leaves]
+    if len(layer) & (len(layer) - 1):
+        target = 1 << len(layer).bit_length()
+        layer = layer + [0] * (target - len(layer))
+    while len(layer) > 1:
+        layer = [
+            sponge.hash_pair(layer[i], layer[i + 1])
+            for i in range(0, len(layer), 2)
+        ]
+    return layer[0]
+
+
+def _circuit_pow(builder, base_wire, exponent: int):
+    """Square-and-multiply exponentiation inside the circuit."""
+    result = None
+    power = base_wire
+    e = exponent
+    while e:
+        if e & 1:
+            result = power if result is None else builder.mul(result, power)
+        e >>= 1
+        if e:
+            power = builder.mul(power, power)
+    return result
+
+
+def mimc_circuit_encrypt(builder, key_wire, x_wire, permutation: MimcPermutation):
+    """Build E_k(x) inside a circuit via square-and-multiply.
+
+    ``builder`` is a :class:`repro.core.circuit.CircuitBuilder` over the
+    same field as ``permutation``.  Returns the output wire.
+    """
+    if builder.field != permutation.field:
+        raise HashError("circuit field differs from permutation field")
+    x = x_wire
+    for c in permutation.constants:
+        t = builder.add_constant(builder.add(x, key_wire), c)
+        x = _circuit_pow(builder, t, permutation.alpha)
+    return builder.add(x, key_wire)
+
+
+def mimc_gate_count(permutation: MimcPermutation) -> int:
+    """Multiplication gates of one in-circuit encryption.
+
+    Square-and-multiply on α costs (bit_length − 1) squarings plus
+    (popcount − 1) multiplies per round.
+    """
+    alpha = permutation.alpha
+    per_round = (alpha.bit_length() - 1) + (bin(alpha).count("1") - 1)
+    return per_round * permutation.rounds

@@ -1,0 +1,109 @@
+"""Fiat–Shamir transcript.
+
+The paper's system derives the verifier's random numbers from pseudorandom
+generators seeded by "either the final Merkle root or the output from other
+sum-check modules" (§4).  This transcript realizes that: both parties absorb
+the same protocol messages and squeeze identical field challenges, making
+the interactive sum-check non-interactive.
+
+The construction is the standard hash-chain sponge: an internal 32-byte
+state is updated as ``state = H(state ‖ tag ‖ message)`` on every absorb,
+and challenges are squeezed as ``H(state ‖ counter)`` interpreted as a
+field element (with rejection-free reduction — fine for the statistical
+soundness budget of this reproduction).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from ..errors import HashError
+from ..field.prime_field import PrimeField
+from .hashers import Hasher, get_hasher
+
+
+class Transcript:
+    """A deterministic Fiat–Shamir transcript.
+
+    >>> from repro.field import DEFAULT_FIELD
+    >>> t1 = Transcript(b"demo")
+    >>> t2 = Transcript(b"demo")
+    >>> t1.absorb_bytes(b"root", b"\\x01" * 32)
+    >>> t2.absorb_bytes(b"root", b"\\x01" * 32)
+    >>> t1.challenge_field(b"r", DEFAULT_FIELD) == t2.challenge_field(b"r", DEFAULT_FIELD)
+    True
+    """
+
+    __slots__ = ("_hasher", "_state", "_counter")
+
+    def __init__(self, label: bytes, hasher: Hasher = None):
+        if not isinstance(label, bytes):
+            raise HashError("transcript label must be bytes")
+        self._hasher = hasher or get_hasher("sha256-hw")
+        self._state = self._hasher.hash_bytes(b"repro/transcript/v1:" + label)
+        self._counter = 0
+
+    # -- absorbing ---------------------------------------------------------
+
+    def absorb_bytes(self, tag: bytes, data: bytes) -> None:
+        """Mix tagged bytes into the state (domain-separated by length)."""
+        header = struct.pack("<I", len(tag)) + tag + struct.pack("<Q", len(data))
+        self._state = self._hasher.hash_bytes(self._state + header + data)
+        self._counter = 0
+
+    def absorb_field(self, tag: bytes, field: PrimeField, value: int) -> None:
+        self.absorb_bytes(tag, field.to_bytes(value))
+
+    def absorb_field_vector(
+        self, tag: bytes, field: PrimeField, values: Sequence[int]
+    ) -> None:
+        self.absorb_bytes(tag, field.vector_to_bytes(values))
+
+    def absorb_int(self, tag: bytes, value: int) -> None:
+        self.absorb_bytes(tag, struct.pack("<Q", value))
+
+    # -- squeezing -----------------------------------------------------------
+
+    def challenge_bytes(self, tag: bytes, n: int = 32) -> bytes:
+        """Derive ``n`` pseudorandom bytes bound to everything absorbed."""
+        out = b""
+        while len(out) < n:
+            block = self._hasher.hash_bytes(
+                self._state + tag + struct.pack("<Q", self._counter)
+            )
+            self._counter += 1
+            out += block
+        return out[:n]
+
+    def challenge_field(self, tag: bytes, field: PrimeField) -> int:
+        """Derive one field challenge (raw int in [0, p))."""
+        # Sample 16 extra bytes beyond the modulus size so the modular
+        # reduction bias is < 2^-128.
+        width = field.byte_length + 16
+        return int.from_bytes(self.challenge_bytes(tag, width), "little") % (
+            field.modulus
+        )
+
+    def challenge_field_vector(
+        self, tag: bytes, field: PrimeField, n: int
+    ) -> List[int]:
+        return [
+            self.challenge_field(tag + b"/" + str(i).encode(), field) for i in range(n)
+        ]
+
+    def challenge_indices(self, tag: bytes, bound: int, n: int) -> List[int]:
+        """Derive ``n`` indices in ``[0, bound)`` (for Merkle spot checks)."""
+        if bound <= 0:
+            raise HashError("index bound must be positive")
+        out = []
+        for i in range(n):
+            raw = self.challenge_bytes(tag + b"/" + str(i).encode(), 8)
+            out.append(int.from_bytes(raw, "little") % bound)
+        return out
+
+    def fork(self, label: bytes) -> "Transcript":
+        """Create an independent child transcript (for parallel sub-proofs)."""
+        child = Transcript(label, self._hasher)
+        child.absorb_bytes(b"fork-parent", self._state)
+        return child

@@ -1,0 +1,202 @@
+"""The latency–throughput frontier (the paper's stated future work).
+
+Table 6 shows the cost of the paper's design: pipelining multiplies
+per-item latency by the pipeline depth.  §6.2 closes with "exploring the
+possibility of improving the throughput without losing too much latency
+would be an important research direction in the future."  This module
+implements two such mechanisms and maps the frontier:
+
+* **Stage fusion** — merge adjacent stages into super-stages.  Work is
+  conserved, so the steady beat (throughput) barely moves, but latency
+  = depth × beat drops with the depth.  The §4 tail-merge is the special
+  case of fusing only the tiny layers; here fusion is swept from
+  fully-split to fully-fused (which degenerates to kernel-per-task).
+* **Express lanes** — partition the thread pool: a slice runs the
+  kernel-per-task discipline for latency-critical tasks while the rest
+  pipelines the bulk stream.  Useful when a fraction of requests have
+  deadlines (the MLaaS setting).
+
+Both return plot-ready points; the bench prints the frontier and asserts
+its shape (latency falls steeply before throughput pays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import PipelineError
+from ..gpu.costs import GpuCostModel
+from ..gpu.device import GpuSpec
+from ..gpu.kernel import KernelStage, ModuleGraph
+from ..gpu.simulator import SimResult, run_naive, run_pipelined
+
+
+class FusedStage(KernelStage):
+    """A super-stage whose kernel runs several member stages serially.
+
+    The crucial modelling choice: within a fused kernel the member stages
+    execute back to back on the *group's* threads, so a thread idles once
+    its member stage's work runs out — exactly the Figure 4a decay, but
+    confined to the group.  Fusing everything therefore degenerates to the
+    kernel-per-task discipline, and the latency–throughput frontier is a
+    genuine trade-off rather than a free lunch.
+    """
+
+    def __init__(self, *args, members: List[KernelStage], **kwargs):
+        object.__setattr__(self, "_members", list(members))
+        super().__init__(*args, **kwargs)
+
+    @property
+    def members(self) -> List[KernelStage]:
+        return list(self._members)
+
+    def duration_cycles(self, threads: int) -> float:
+        if threads <= 0:
+            raise PipelineError(f"stage {self.name}: no threads allocated")
+        return sum(m.duration_cycles(threads) for m in self._members)
+
+
+def fuse_stages(graph: ModuleGraph, num_super_stages: int) -> ModuleGraph:
+    """Merge adjacent stages into (at most) ``num_super_stages`` groups.
+
+    Work, bytes and memory are conserved.  Group boundaries balance
+    per-group cycles (greedy prefix partition with an exact-count
+    backstop); each group becomes a :class:`FusedStage` whose duration is
+    the serial sum of its members' durations on the shared threads.
+    """
+    stages = [s for s in graph.stages if s.work_units > 0]
+    if num_super_stages < 1:
+        raise PipelineError("need at least one super-stage")
+    if num_super_stages >= len(stages):
+        return ModuleGraph(name=graph.name, stages=stages)
+    total = sum(s.total_cycles for s in stages)
+    target = total / num_super_stages
+    groups: List[List[KernelStage]] = [[]]
+    acc = 0.0
+    for idx, stage in enumerate(stages):
+        remaining_stages = len(stages) - idx
+        remaining_groups = num_super_stages - len(groups)
+        must_split = groups[-1] and remaining_groups >= remaining_stages
+        want_split = acc >= target and groups[-1] and remaining_groups > 0
+        if must_split or want_split:
+            groups.append([])
+            acc = 0.0
+        groups[-1].append(stage)
+        acc += stage.total_cycles
+    fused = []
+    for i, group in enumerate(groups):
+        work = sum(s.work_units for s in group)
+        cycles = sum(s.total_cycles for s in group)
+        fused.append(
+            FusedStage(
+                name=f"{graph.name}/fused{i}",
+                work_units=work,
+                cycles_per_unit=cycles / work,
+                bytes_in=sum(s.bytes_in for s in group),
+                bytes_out=sum(s.bytes_out for s in group),
+                memory_bytes=sum(s.memory_bytes for s in group),
+                unit=group[0].unit,
+                members=group,
+            )
+        )
+    return ModuleGraph(name=f"{graph.name}/fused", stages=fused)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (depth, latency, throughput) operating point."""
+
+    super_stages: int
+    latency_seconds: float
+    throughput_per_second: float
+
+
+def latency_throughput_frontier(
+    device: GpuSpec,
+    graph: ModuleGraph,
+    depths: Optional[Sequence[int]] = None,
+    batch_size: int = 64,
+    costs: Optional[GpuCostModel] = None,
+) -> List[FrontierPoint]:
+    """Sweep stage fusion from fully split to nearly fused."""
+    stages = len([s for s in graph.stages if s.work_units > 0])
+    if depths is None:
+        depths = sorted(
+            {d for d in (stages, stages // 2, stages // 4, 4, 2, 1) if d >= 1},
+            reverse=True,
+        )
+    points = []
+    for depth in depths:
+        fused = fuse_stages(graph, depth)
+        res = run_pipelined(
+            device, fused, batch_size, costs=costs, include_transfers=False
+        )
+        points.append(
+            FrontierPoint(
+                super_stages=len(fused.stages),
+                latency_seconds=res.latency_seconds,
+                throughput_per_second=res.steady_throughput_per_second,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Outcome of an express-lane split."""
+
+    express_fraction: float
+    express_latency_seconds: float
+    bulk_latency_seconds: float
+    bulk_throughput_per_second: float
+    express_throughput_per_second: float
+
+    @property
+    def total_throughput_per_second(self) -> float:
+        return self.bulk_throughput_per_second + self.express_throughput_per_second
+
+
+def run_hybrid(
+    device: GpuSpec,
+    graph: ModuleGraph,
+    batch_size: int = 64,
+    express_fraction: float = 0.25,
+    costs: Optional[GpuCostModel] = None,
+) -> HybridResult:
+    """Split the device: an express kernel-per-task lane plus a bulk
+    pipeline, each on its own thread slice.
+
+    The express lane trades aggregate throughput for per-task latency —
+    quantifying exactly the trade the paper leaves to future work.
+    """
+    if not 0.0 < express_fraction < 1.0:
+        raise PipelineError("express fraction must be in (0, 1)")
+    stages = [s for s in graph.stages if s.work_units > 0]
+    express_threads = max(1, int(device.cuda_cores * express_fraction))
+    bulk_threads = device.cuda_cores - express_threads
+    if bulk_threads < len(stages):
+        raise PipelineError("bulk slice too small for the stage count")
+
+    # Express lane: a dedicated slice runs one task at a time, all stages
+    # serially (naive discipline on a narrower device).
+    import dataclasses as _dc
+
+    express_device = _dc.replace(device, cuda_cores=express_threads)
+    express = run_naive(express_device, graph, max(1, batch_size // 4), costs=costs)
+
+    bulk = run_pipelined(
+        device,
+        graph,
+        batch_size,
+        costs=costs,
+        total_threads=bulk_threads,
+        include_transfers=False,
+    )
+    return HybridResult(
+        express_fraction=express_fraction,
+        express_latency_seconds=express.latency_seconds,
+        bulk_latency_seconds=bulk.latency_seconds,
+        bulk_throughput_per_second=bulk.steady_throughput_per_second,
+        express_throughput_per_second=express.steady_throughput_per_second,
+    )

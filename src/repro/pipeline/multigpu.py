@@ -1,0 +1,149 @@
+"""Multi-GPU batch scaling (extension; cf. the multi-GPU MSM systems the
+paper cites [29] and its CPU-cluster relatives [34, 58]).
+
+BatchZK's pipeline fills one device; a proving farm runs one pipeline per
+device and shards the task stream across them.  Because tasks are
+independent, sharding is embarrassingly parallel — the interesting part
+is *proportional* sharding across heterogeneous devices and the resulting
+efficiency accounting, both implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import PipelineError
+from ..gpu.costs import GpuCostModel
+from ..gpu.device import GpuSpec, get_gpu
+from .system import BatchZkpSystem, SystemResult
+
+
+@dataclass
+class ShardResult:
+    """One device's share of the batch."""
+
+    device_name: str
+    tasks: int
+    result: Optional[SystemResult]
+
+
+@dataclass
+class MultiGpuResult:
+    """Aggregate outcome of a multi-device batch run."""
+
+    shards: List[ShardResult]
+    total_seconds: float
+    batch_size: int
+
+    @property
+    def throughput_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.batch_size / self.total_seconds
+
+    @property
+    def ideal_throughput_per_second(self) -> float:
+        """Sum of every device's steady-state throughput."""
+        return sum(
+            s.result.sim.steady_throughput_per_second
+            for s in self.shards
+            if s.result is not None
+        )
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Achieved aggregate throughput over the ideal sum (≤ 1; lost to
+        pipeline fill/drain and shard rounding)."""
+        ideal = self.ideal_throughput_per_second
+        if ideal <= 0:
+            return 0.0
+        return min(1.0, self.throughput_per_second / ideal)
+
+    def tasks_by_device(self) -> Dict[str, int]:
+        return {s.device_name: s.tasks for s in self.shards}
+
+
+class MultiGpuBatchSystem:
+    """Shards a proof batch across several (possibly heterogeneous) GPUs.
+
+    >>> farm = MultiGpuBatchSystem(["V100", "A100"], scale=1 << 16)
+    >>> res = farm.simulate(batch_size=128)
+    >>> res.batch_size
+    128
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Union[str, GpuSpec]],
+        scale: int,
+        costs: Optional[GpuCostModel] = None,
+    ):
+        if not devices:
+            raise PipelineError("need at least one device")
+        self.costs = costs or GpuCostModel()
+        self.systems: List[BatchZkpSystem] = [
+            BatchZkpSystem(dev, scale=scale, costs=self.costs) for dev in devices
+        ]
+        self.scale = scale
+
+    def _device_rates(self, batch_probe: int = 64) -> List[float]:
+        """Steady-state throughput of each device's pipeline."""
+        return [
+            system.simulate(batch_size=batch_probe).sim.steady_throughput_per_second
+            for system in self.systems
+        ]
+
+    def shard(self, batch_size: int) -> List[int]:
+        """Split a batch proportionally to device throughput.
+
+        Largest-remainder rounding; every extra task goes to the fastest
+        devices so the slowest shard (the critical path) stays short.
+        """
+        if batch_size < 1:
+            raise PipelineError("batch_size must be positive")
+        rates = self._device_rates()
+        total_rate = sum(rates)
+        raw = [batch_size * r / total_rate for r in rates]
+        shares = [int(x) for x in raw]
+        remainder = batch_size - sum(shares)
+        order = sorted(
+            range(len(raw)), key=lambda i: raw[i] - int(raw[i]), reverse=True
+        )
+        for i in range(remainder):
+            shares[order[i % len(order)]] += 1
+        return shares
+
+    def simulate(
+        self, batch_size: int, multi_stream: bool = True
+    ) -> MultiGpuResult:
+        """Run every shard; wall time is the slowest device's shard time."""
+        shares = self.shard(batch_size)
+        shards: List[ShardResult] = []
+        slowest = 0.0
+        for system, tasks in zip(self.systems, shares):
+            if tasks == 0:
+                shards.append(
+                    ShardResult(
+                        device_name=system.device.name, tasks=0, result=None
+                    )
+                )
+                continue
+            result = system.simulate(batch_size=tasks, multi_stream=multi_stream)
+            slowest = max(slowest, result.sim.total_seconds)
+            shards.append(
+                ShardResult(
+                    device_name=system.device.name, tasks=tasks, result=result
+                )
+            )
+        return MultiGpuResult(
+            shards=shards, total_seconds=slowest, batch_size=batch_size
+        )
+
+
+def farm_throughput(
+    device_names: Sequence[str], scale: int, batch_size: int = 512
+) -> float:
+    """Convenience: aggregate proofs/second of a named device farm."""
+    farm = MultiGpuBatchSystem(list(device_names), scale=scale)
+    return farm.simulate(batch_size=batch_size).throughput_per_second

@@ -1,0 +1,211 @@
+"""The two-buffer table store of Figure 5 (paper §3.2).
+
+Sum-check proof generation is memory-access bound.  The paper considers two
+minimal-access layouts for the shrinking tables of a *stream* of sum-check
+instances:
+
+* **In-place stride** — write each folded table immediately after the
+  previous one in a single buffer.  Minimal space, but concurrent kernels
+  of the pipeline would read and write overlapping regions → race hazards.
+* **Double buffer (chosen)** — two recyclable buffers; odd time periods
+  read from the lower buffer and write to the upper, even periods reverse.
+  Reads and writes never touch the same buffer in the same period.
+
+:class:`DoubleBuffer` implements the chosen scheme with explicit period
+bookkeeping; tests assert the no-overlap invariant, and the ablation bench
+compares its (modeled) hazard-free behaviour against the stride layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SumcheckError
+
+
+class BufferRegion:
+    """A reserved [start, end) region of one of the two buffers."""
+
+    __slots__ = ("buffer_index", "start", "length")
+
+    def __init__(self, buffer_index: int, start: int, length: int):
+        self.buffer_index = buffer_index
+        self.start = start
+        self.length = length
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def overlaps(self, other: "BufferRegion") -> bool:
+        return (
+            self.buffer_index == other.buffer_index
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def __repr__(self) -> str:
+        return f"BufferRegion(buf={self.buffer_index}, [{self.start},{self.end}))"
+
+
+class DoubleBuffer:
+    """Figure 5's alternating two-buffer store for pipelined sum-check.
+
+    At each *period*, every live sum-check instance reads its current table
+    from one buffer and writes its folded (half-size) table to the other.
+    ``read_buffer(period)`` alternates every period, so a region written in
+    period ``t`` is read in period ``t+1`` from the *same physical buffer*
+    it was written to — hence reads and writes within one period always hit
+    different buffers.
+
+    The class tracks allocations and records every access so the invariant
+    is checkable:
+
+    >>> db = DoubleBuffer(capacity=1024)
+    >>> r = db.allocate(period=0, length=256)
+    >>> db.begin_period(1)
+    >>> db.read_regions(1)[0].buffer_index == r.buffer_index
+    True
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise SumcheckError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._period = 0
+        # Per-buffer free cursor (simple bump allocation recycled per period).
+        self._cursors = [0, 0]
+        # Regions written in the current period (become readable next period).
+        self._written_now: List[BufferRegion] = []
+        # Regions readable in the current period (written last period).
+        self._readable_now: List[BufferRegion] = []
+        self.access_log: List[Tuple[int, str, BufferRegion]] = []
+
+    @staticmethod
+    def write_buffer_index(period: int) -> int:
+        """Odd periods write the upper buffer (1), even the lower (0)."""
+        return period & 1
+
+    @staticmethod
+    def read_buffer_index(period: int) -> int:
+        return 1 - (period & 1)
+
+    @property
+    def period(self) -> int:
+        return self._period
+
+    def begin_period(self, period: int) -> None:
+        """Advance to ``period``; last period's writes become readable."""
+        if period != self._period + 1 and not (period == 0 and self._period == 0):
+            if period <= self._period:
+                raise SumcheckError(
+                    f"periods must advance monotonically: {self._period} -> {period}"
+                )
+        self._readable_now = self._written_now
+        self._written_now = []
+        self._cursors[self.write_buffer_index(period)] = 0
+        self._period = period
+
+    def allocate(self, period: int, length: int) -> BufferRegion:
+        """Reserve a write region of ``length`` entries for this period."""
+        if period != self._period:
+            raise SumcheckError(
+                f"allocation period {period} != current period {self._period}"
+            )
+        buf = self.write_buffer_index(period)
+        start = self._cursors[buf]
+        if start + length > self.capacity:
+            raise SumcheckError(
+                f"buffer {buf} overflow: need {start + length}, capacity "
+                f"{self.capacity}"
+            )
+        self._cursors[buf] = start + length
+        region = BufferRegion(buf, start, length)
+        self._written_now.append(region)
+        self.access_log.append((period, "write", region))
+        return region
+
+    def read_regions(self, period: int) -> List[BufferRegion]:
+        """Regions readable in ``period`` (those written in ``period − 1``)."""
+        if period != self._period:
+            raise SumcheckError(
+                f"read period {period} != current period {self._period}"
+            )
+        for region in self._readable_now:
+            self.access_log.append((period, "read", region))
+        return list(self._readable_now)
+
+    def hazard_pairs(self) -> List[Tuple[BufferRegion, BufferRegion]]:
+        """Same-period read/write overlaps — must always be empty.
+
+        This is the checkable form of Figure 5's claim that "reading and
+        writing never occur simultaneously within the same buffer".
+        """
+        by_period: Dict[int, Dict[str, List[BufferRegion]]] = {}
+        for period, kind, region in self.access_log:
+            by_period.setdefault(period, {"read": [], "write": []})[kind].append(
+                region
+            )
+        hazards = []
+        for accesses in by_period.values():
+            for r in accesses["read"]:
+                for w in accesses["write"]:
+                    if r.overlaps(w):
+                        hazards.append((r, w))
+        return hazards
+
+
+class StrideBuffer:
+    """The rejected single-buffer layout of Figure 5 (for the ablation).
+
+    Writes each folded table directly after the live region.  We log the
+    accesses the same way; with concurrently executing pipeline stages this
+    layout *does* produce same-period read/write overlaps, which the
+    ablation bench demonstrates.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise SumcheckError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._cursor = 0
+        self.access_log: List[Tuple[int, str, BufferRegion]] = []
+
+    def allocate(self, period: int, length: int) -> BufferRegion:
+        start = self._cursor % self.capacity
+        if start + length > self.capacity:
+            start = 0
+        self._cursor = start + length
+        region = BufferRegion(0, start, length)
+        self.access_log.append((period, "write", region))
+        return region
+
+    def read(self, period: int, region: BufferRegion) -> None:
+        self.access_log.append((period, "read", region))
+
+    def hazard_pairs(self) -> List[Tuple[BufferRegion, BufferRegion]]:
+        by_period: Dict[int, Dict[str, List[BufferRegion]]] = {}
+        for period, kind, region in self.access_log:
+            by_period.setdefault(period, {"read": [], "write": []})[kind].append(
+                region
+            )
+        hazards = []
+        for accesses in by_period.values():
+            for r in accesses["read"]:
+                for w in accesses["write"]:
+                    if r.overlaps(w):
+                        hazards.append((r, w))
+        return hazards
+
+
+def required_capacity(table_length: int) -> int:
+    """Worst-case entries one buffer must hold for a steady pipeline.
+
+    In steady state the write buffer holds the folded tables of every other
+    pipeline stage: N/2 + N/8 + N/32 + … < (2/3)·N entries, and the read
+    buffer the complementary N + N/4 + … < (4/3)·N.  We return the safe
+    bound 2·N·(2/3) rounded up plus slack.
+    """
+    if table_length <= 0:
+        raise SumcheckError("table_length must be positive")
+    return (4 * table_length) // 3 + 2

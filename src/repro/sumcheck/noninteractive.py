@@ -1,0 +1,159 @@
+"""Non-interactive sum-check via Fiat–Shamir.
+
+The paper's system derives the verifier's randoms from "pseudorandom
+generators using either the final Merkle root or the output from other
+sum-check modules as a seed" (§4).  Here the :class:`Transcript` plays
+that role: the prover absorbs each round message before squeezing the next
+challenge, so prover and verifier reconstruct identical randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import List, Sequence
+
+from ..field.prime_field import PrimeField
+from ..hashing.transcript import Transcript
+from .prover import MultilinearSumcheckProver, ProductSumcheckProver
+from .verifier import (
+    RoundCheckFailure,
+    verify_multilinear_rounds,
+    verify_product_rounds,
+)
+
+
+@dataclass(frozen=True)
+class SumcheckProof:
+    """A non-interactive sum-check proof.
+
+    Attributes:
+        claimed_sum: The value H the proof attests to.
+        round_polys: Per-round polynomial evaluations. For the multilinear
+            protocol each row is ``(π_i1, π_i2)``; for a degree-k product
+            each row has ``k + 1`` entries.
+        degree:     Per-variable degree of the summed polynomial.
+        final_value: The prover's fully folded evaluation (the oracle claim).
+    """
+
+    claimed_sum: int
+    round_polys: List[List[int]]
+    degree: int
+    final_value: int
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_polys)
+
+    def size_field_elements(self) -> int:
+        return 2 + sum(len(r) for r in self.round_polys)
+
+
+@dataclass(frozen=True)
+class SumcheckResult:
+    """Proof plus the challenges it was generated under (for debugging and
+    for protocol layers that need the bound point)."""
+
+    proof: SumcheckProof
+    challenges: List[int] = dc_field(default_factory=list)
+
+
+def _challenge(transcript: Transcript, field: PrimeField, i: int) -> int:
+    return transcript.challenge_field(b"sumcheck/r/%d" % i, field)
+
+
+def prove(
+    field: PrimeField,
+    table: Sequence[int],
+    transcript: Transcript,
+) -> SumcheckResult:
+    """Non-interactive Algorithm 1 over a multilinear table."""
+    prover = MultilinearSumcheckProver(field, table)
+    transcript.absorb_int(b"sumcheck/n", prover.num_vars)
+    transcript.absorb_field(b"sumcheck/H", field, prover.claimed_sum)
+    rounds: List[List[int]] = []
+    challenges: List[int] = []
+    for i in range(prover.num_vars):
+        # Standard Fiat–Shamir ordering: emit the round message from the
+        # current table, absorb it, squeeze the challenge, then fold.
+        pi1, pi2 = prover.round_message()
+        transcript.absorb_field_vector(b"sumcheck/round", field, [pi1, pi2])
+        r = _challenge(transcript, field, i)
+        prover.fold(r)
+        rounds.append([pi1, pi2])
+        challenges.append(r)
+    final = prover.final_value()
+    transcript.absorb_field(b"sumcheck/final", field, final)
+    proof = SumcheckProof(
+        claimed_sum=prover.claimed_sum,
+        round_polys=rounds,
+        degree=1,
+        final_value=final,
+    )
+    return SumcheckResult(proof=proof, challenges=challenges)
+
+
+def prove_product(
+    field: PrimeField,
+    factors: Sequence[Sequence[int]],
+    transcript: Transcript,
+) -> SumcheckResult:
+    """Non-interactive degree-k product sum-check."""
+    prover = ProductSumcheckProver(field, factors)
+    transcript.absorb_int(b"sumcheck/n", prover.num_vars)
+    transcript.absorb_int(b"sumcheck/deg", prover.degree)
+    transcript.absorb_field(b"sumcheck/H", field, prover.claimed_sum)
+    rounds: List[List[int]] = []
+    challenges: List[int] = []
+    for i in range(prover.num_vars):
+        evals = prover.round_polynomial()
+        transcript.absorb_field_vector(b"sumcheck/round", field, evals)
+        r = _challenge(transcript, field, i)
+        prover.fold(r)
+        rounds.append(evals)
+        challenges.append(r)
+    final = prover.final_value()
+    transcript.absorb_field(b"sumcheck/final", field, final)
+    proof = SumcheckProof(
+        claimed_sum=prover.claimed_sum,
+        round_polys=rounds,
+        degree=prover.degree,
+        final_value=final,
+    )
+    return SumcheckResult(proof=proof, challenges=challenges)
+
+
+def verify(
+    field: PrimeField,
+    proof: SumcheckProof,
+    transcript: Transcript,
+) -> List[int]:
+    """Replay the transcript and verify all round checks.
+
+    Returns the challenge list on success so the caller can perform the
+    final oracle check (``proof.final_value`` against the committed
+    polynomial at the bound point).  Raises
+    :class:`~repro.errors.SumcheckError` on failure.
+    """
+    transcript.absorb_int(b"sumcheck/n", proof.num_rounds)
+    if proof.degree != 1:
+        transcript.absorb_int(b"sumcheck/deg", proof.degree)
+    transcript.absorb_field(b"sumcheck/H", field, proof.claimed_sum)
+    challenges: List[int] = []
+    for i, evals in enumerate(proof.round_polys):
+        transcript.absorb_field_vector(b"sumcheck/round", field, list(evals))
+        challenges.append(_challenge(transcript, field, i))
+    if proof.degree == 1:
+        pairs = [(row[0], row[1]) for row in proof.round_polys]
+        final_claim = verify_multilinear_rounds(
+            field, proof.claimed_sum, pairs, challenges
+        )
+    else:
+        final_claim = verify_product_rounds(
+            field, proof.claimed_sum, proof.round_polys, challenges, proof.degree
+        )
+    if final_claim != proof.final_value % field.modulus:
+        raise RoundCheckFailure(
+            proof.num_rounds, final_claim, proof.final_value % field.modulus
+        )
+    transcript.absorb_field(b"sumcheck/final", field, proof.final_value)
+    return challenges

@@ -1,0 +1,216 @@
+"""Compile (small) model inference into a real R1CS circuit.
+
+The paper's preprocessing stage "compiles the function for the model
+inference into a circuit based on the technology proposed in many recent
+works" (§5).  For models that fit a Python-scale prover we do that
+compilation for real: every convolution MAC, squaring activation and
+fully-connected MAC becomes a multiplication gate between *witness* wires
+(both the model weights and the activations are secret), and the network
+output is exposed as a public value.
+
+The compiled circuit uses **exact integer arithmetic** (no in-circuit
+rescaling): each layer's output carries a growing power-of-two scale, and
+:func:`forward_exact` provides the matching plain-integer reference the
+tests cross-check against.  In-circuit rescaling needs range proofs (the
+``RESCALE_BITS``-per-activation cost the gate model charges for VGG-16);
+for the runnable demo model the scales stay far below the field size, so
+exactness is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.circuit import CircuitBuilder, CompiledCircuit, Wire, compile_builder
+from ..errors import ZkmlError
+from ..field.prime_field import PrimeField
+from .layers import Conv2d, Flatten, Linear, ReLU, Square, SumPool2d
+from .model import SequentialModel
+from .tensor import QuantizedTensor
+
+CIRCUIT_LAYER_TYPES = (Conv2d, Linear, Square, Flatten, SumPool2d, ReLU)
+
+#: Signed bit-width of the in-circuit ReLU range proofs.  Must cover the
+#: largest activation magnitude of the exact (no-rescale) evaluation.
+DEFAULT_RELU_BITS = 24
+
+
+@dataclass
+class ZkmlCircuit:
+    """The compiled inference circuit plus its claimed outputs."""
+
+    compiled: CompiledCircuit
+    outputs: List[int]  # signed ints (pre-field), one per class logit
+    gate_count: int
+
+
+def _require_exactable(model: SequentialModel) -> None:
+    for layer in model.layers:
+        if not isinstance(layer, CIRCUIT_LAYER_TYPES):
+            raise ZkmlError(
+                f"layer {layer.name!r} ({type(layer).__name__}) has no exact "
+                f"circuit form; use Conv2d/Linear/Square/SumPool2d/ReLU/"
+                f"Flatten models"
+            )
+
+
+def forward_exact(model: SequentialModel, x: QuantizedTensor) -> np.ndarray:
+    """Exact integer inference with NO rescaling (object-dtype numpy so
+    intermediate magnitudes can exceed 64 bits safely)."""
+    _require_exactable(model)
+    vals = x.values.astype(object)
+    for layer in model.layers:
+        if isinstance(layer, Conv2d):
+            c, h, w = vals.shape
+            k = layer.kernel_size
+            pad = k // 2
+            padded = np.zeros((c, h + 2 * pad, w + 2 * pad), dtype=object)
+            padded[:, pad : pad + h, pad : pad + w] = vals
+            out = np.zeros((layer.out_channels, h, w), dtype=object)
+            for oc in range(layer.out_channels):
+                acc = np.zeros((h, w), dtype=object)
+                for ic in range(c):
+                    for di in range(k):
+                        for dj in range(k):
+                            coeff = int(layer.weights.values[oc, ic, di, dj])
+                            if coeff:
+                                acc = acc + coeff * padded[ic, di : di + h, dj : dj + w]
+                out[oc] = acc
+            vals = out
+        elif isinstance(layer, Linear):
+            flat = vals.reshape(-1)
+            out = np.zeros(layer.out_features, dtype=object)
+            for o in range(layer.out_features):
+                out[o] = sum(
+                    int(layer.weights.values[o, i]) * flat[i]
+                    for i in range(layer.in_features)
+                )
+            vals = out
+        elif isinstance(layer, Square):
+            vals = vals * vals
+        elif isinstance(layer, ReLU):
+            flat = vals.reshape(-1)
+            for i in range(flat.size):
+                if flat[i] < 0:
+                    flat[i] = 0
+            vals = flat.reshape(vals.shape)
+        elif isinstance(layer, SumPool2d):
+            c, h, w = vals.shape
+            s = layer.stride
+            v = vals[:, : h - h % s, : w - w % s]
+            vals = v.reshape(c, h // s, s, w // s, s).sum(axis=(2, 4))
+        elif isinstance(layer, Flatten):
+            vals = vals.reshape(-1)
+    return vals
+
+
+def circuitize(
+    model: SequentialModel,
+    x: QuantizedTensor,
+    field: PrimeField,
+    relu_bits: int = DEFAULT_RELU_BITS,
+) -> ZkmlCircuit:
+    """Compile one inference into an R1CS circuit with a live witness.
+
+    Both the input image and the model parameters enter as private
+    witness values (the model is the prover's IP, §5); the output logits
+    are exposed as public values.
+    """
+    _require_exactable(model)
+    cb = CircuitBuilder(field)
+
+    # Activations as wires; weights as private-input wires per layer.
+    act: np.ndarray = np.empty(x.shape, dtype=object)
+    flat_in = x.values.reshape(-1)
+    wires = cb.private_inputs([int(v) for v in flat_in])
+    for idx, wire in enumerate(wires):
+        act.reshape(-1)[idx] = wire
+    act = act.reshape(x.shape)
+
+    for layer in model.layers:
+        if isinstance(layer, Conv2d):
+            c, h, w = act.shape
+            k = layer.kernel_size
+            pad = k // 2
+            zero = cb.constant(0)
+            padded = np.full((c, h + 2 * pad, w + 2 * pad), zero, dtype=object)
+            padded[:, pad : pad + h, pad : pad + w] = act
+            w_wires = {}
+            for oc in range(layer.out_channels):
+                for ic in range(c):
+                    for di in range(k):
+                        for dj in range(k):
+                            w_wires[(oc, ic, di, dj)] = cb.private_input(
+                                int(layer.weights.values[oc, ic, di, dj])
+                            )
+            out = np.empty((layer.out_channels, h, w), dtype=object)
+            for oc in range(layer.out_channels):
+                for i in range(h):
+                    for j in range(w):
+                        terms = []
+                        for ic in range(c):
+                            for di in range(k):
+                                for dj in range(k):
+                                    xin = padded[ic, i + di, j + dj]
+                                    if xin is zero:
+                                        continue
+                                    terms.append(
+                                        cb.mul(w_wires[(oc, ic, di, dj)], xin)
+                                    )
+                        out[oc, i, j] = cb.sum_wires(terms) if terms else zero
+            act = out
+        elif isinstance(layer, Linear):
+            flat = act.reshape(-1)
+            out = np.empty(layer.out_features, dtype=object)
+            for o in range(layer.out_features):
+                terms = []
+                for i in range(layer.in_features):
+                    w_wire = cb.private_input(int(layer.weights.values[o, i]))
+                    terms.append(cb.mul(w_wire, flat[i]))
+                out[o] = cb.sum_wires(terms)
+            act = out
+        elif isinstance(layer, Square):
+            flat = act.reshape(-1)
+            for i in range(flat.size):
+                flat[i] = cb.mul(flat[i], flat[i])
+            act = flat.reshape(act.shape)
+        elif isinstance(layer, ReLU):
+            from ..core.gadgets import relu as relu_gadget
+
+            flat = act.reshape(-1)
+            for i in range(flat.size):
+                flat[i] = relu_gadget(cb, flat[i], bits=relu_bits)
+            act = flat.reshape(act.shape)
+        elif isinstance(layer, SumPool2d):
+            c, h, w = act.shape
+            s = layer.stride
+            out = np.empty((c, h // s, w // s), dtype=object)
+            for ch in range(c):
+                for i in range(h // s):
+                    for j in range(w // s):
+                        window = [
+                            act[ch, s * i + di, s * j + dj]
+                            for di in range(s)
+                            for dj in range(s)
+                        ]
+                        out[ch, i, j] = cb.sum_wires(window)
+            act = out
+        elif isinstance(layer, Flatten):
+            act = act.reshape(-1)
+
+    for wire in act.reshape(-1):
+        cb.expose_public(wire)
+    gates = cb.num_multiplications
+    compiled = compile_builder(cb)
+
+    expected = forward_exact(model, x)
+    outputs = [int(v) for v in expected.reshape(-1)]
+    p = field.modulus
+    got = [v % p for v in compiled.public_values]
+    want = [v % p for v in outputs]
+    if got != want:
+        raise ZkmlError("circuit outputs disagree with exact inference")
+    return ZkmlCircuit(compiled=compiled, outputs=outputs, gate_count=gates)

@@ -1,0 +1,264 @@
+"""Neural-network layers with quantized forward passes and ZKP gate counts.
+
+Each layer implements:
+
+* ``forward`` — real quantized integer inference (numpy).
+* ``output_shape`` — shape propagation.
+* ``gate_count`` — the number of multiplication gates the layer
+  contributes to the verifiable-inference circuit.
+
+Gate accounting follows the zkCNN/ZENO line of work the paper deploys on
+top of (§5): convolutions are proved with sum-check protocols whose prover
+cost is linear in the activation volumes rather than in the MAC count,
+while every activation that passes through a non-linearity or a rescaling
+step pays a bit-decomposition (range proof) of ``RESCALE_BITS`` gates.
+The bit-decomposition term dominates — which is exactly why verifiable
+CNNs are so much more expensive than plain inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ZkmlError
+from .tensor import QuantizedTensor
+
+#: Bits per activation rescaling/comparison range proof.
+RESCALE_BITS = 32
+
+
+class Layer:
+    """Base class: shape propagation + gate accounting + forward."""
+
+    name: str = "layer"
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        raise NotImplementedError
+
+    def parameter_count(self) -> int:
+        return 0
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        raise NotImplementedError
+
+
+def _volume(shape: Tuple[int, ...]) -> int:
+    out = 1
+    for s in shape:
+        out *= s
+    return out
+
+
+@dataclass
+class Conv2d(Layer):
+    """3×3 (or k×k) same-padding convolution, NCHW single-image layout."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int = 3
+    name: str = "conv"
+    weights: QuantizedTensor = None  # type: ignore[assignment]
+    bias: QuantizedTensor = None  # type: ignore[assignment]
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        k = self.kernel_size
+        fan_in = self.in_channels * k * k
+        w = rng.normal(0, (2.0 / fan_in) ** 0.5, (self.out_channels, self.in_channels, k, k))
+        self.weights = QuantizedTensor.from_float(w)
+        self.bias = QuantizedTensor.from_float(np.zeros(self.out_channels))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ZkmlError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}"
+            )
+        return (self.out_channels, h, w)
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        # Sum-check-based convolution proof: linear in in+out activation
+        # volumes (zkCNN's FFT/sum-check trick), plus one rescale range
+        # proof per output activation.
+        out_shape = self.output_shape(input_shape)
+        sumcheck_gates = _volume(input_shape) + _volume(out_shape)
+        rescale_gates = _volume(out_shape) * RESCALE_BITS
+        return sumcheck_gates + rescale_gates
+
+    def parameter_count(self) -> int:
+        k = self.kernel_size
+        return self.out_channels * self.in_channels * k * k + self.out_channels
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        if self.weights is None:
+            raise ZkmlError(f"{self.name}: parameters not initialized")
+        c, h, w = x.shape
+        k = self.kernel_size
+        pad = k // 2
+        padded = np.zeros((c, h + 2 * pad, w + 2 * pad), dtype=np.int64)
+        padded[:, pad : pad + h, pad : pad + w] = x.values
+        out = np.zeros((self.out_channels, h, w), dtype=np.int64)
+        wv = self.weights.values
+        for oc in range(self.out_channels):
+            acc = np.zeros((h, w), dtype=np.int64)
+            for ic in range(c):
+                for di in range(k):
+                    for dj in range(k):
+                        coeff = int(wv[oc, ic, di, dj])
+                        if coeff:
+                            acc += coeff * padded[ic, di : di + h, dj : dj + w]
+            out[oc] = acc + (int(self.bias.values[oc]) << x.frac_bits)
+        return QuantizedTensor(values=out, frac_bits=x.frac_bits).rescale()
+
+
+@dataclass
+class Linear(Layer):
+    """Fully connected layer on a flat vector."""
+
+    in_features: int
+    out_features: int
+    name: str = "fc"
+    weights: QuantizedTensor = None  # type: ignore[assignment]
+    bias: QuantizedTensor = None  # type: ignore[assignment]
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        w = rng.normal(0, (2.0 / self.in_features) ** 0.5, (self.out_features, self.in_features))
+        self.weights = QuantizedTensor.from_float(w)
+        self.bias = QuantizedTensor.from_float(np.zeros(self.out_features))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if _volume(input_shape) != self.in_features:
+            raise ZkmlError(
+                f"{self.name}: expected {self.in_features} inputs, got "
+                f"{_volume(input_shape)}"
+            )
+        return (self.out_features,)
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        # Matrix-vector proof via one sum-check: gates linear in the MAC
+        # count is avoided; cost is in+out plus per-output rescaling.
+        return (
+            self.in_features
+            + self.out_features
+            + self.out_features * RESCALE_BITS
+        )
+
+    def parameter_count(self) -> int:
+        return self.out_features * self.in_features + self.out_features
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        if self.weights is None:
+            raise ZkmlError(f"{self.name}: parameters not initialized")
+        flat = x.values.reshape(-1)
+        out = self.weights.values @ flat + (
+            self.bias.values.astype(np.int64) << x.frac_bits
+        )
+        return QuantizedTensor(values=out, frac_bits=x.frac_bits).rescale()
+
+
+@dataclass
+class ReLU(Layer):
+    name: str = "relu"
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        # Sign extraction needs a bit decomposition per activation.
+        return _volume(input_shape) * RESCALE_BITS
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        return QuantizedTensor(
+            values=np.maximum(x.values, 0), frac_bits=x.frac_bits
+        )
+
+
+@dataclass
+class Square(Layer):
+    """x → x² activation (circuit-friendly; used by the tiny real-SNARK
+    demo model, à la CryptoNets)."""
+
+    name: str = "square"
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        return _volume(input_shape)  # one multiplication per activation
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        # The product carries a 2^{2·fb} scale; one rescale restores fb.
+        return QuantizedTensor(
+            values=x.values * x.values, frac_bits=x.frac_bits
+        ).rescale()
+
+
+@dataclass
+class SumPool2d(Layer):
+    """2×2 sum pooling — the circuit-friendly pooling choice.
+
+    Summing a window is a pure linear operation (zero multiplication
+    gates), unlike max pooling's comparisons; verifiable-CNN systems
+    routinely swap avg/sum pooling in for exactly this reason.  The
+    output carries a 4x magnitude (no division — field-exact).
+    """
+
+    name: str = "sumpool"
+    stride: int = 2
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        return (c, h // self.stride, w // self.stride)
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        return 0  # additions are free in R1CS
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        c, h, w = x.shape
+        s = self.stride
+        v = x.values[:, : h - h % s, : w - w % s]
+        v = v.reshape(c, h // s, s, w // s, s).sum(axis=(2, 4))
+        return QuantizedTensor(values=v, frac_bits=x.frac_bits)
+
+
+@dataclass
+class MaxPool2d(Layer):
+    """2×2 max pooling."""
+
+    name: str = "maxpool"
+    stride: int = 2
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        return (c, h // self.stride, w // self.stride)
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        # Each max over a 2×2 window needs 3 comparisons (range proofs).
+        out = _volume(self.output_shape(input_shape))
+        return out * 3 * RESCALE_BITS
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        c, h, w = x.shape
+        s = self.stride
+        v = x.values[:, : h - h % s, : w - w % s]
+        v = v.reshape(c, h // s, s, w // s, s).max(axis=(2, 4))
+        return QuantizedTensor(values=v, frac_bits=x.frac_bits)
+
+
+@dataclass
+class Flatten(Layer):
+    name: str = "flatten"
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (_volume(input_shape),)
+
+    def gate_count(self, input_shape: Tuple[int, ...]) -> int:
+        return 0  # pure rewiring
+
+    def forward(self, x: QuantizedTensor) -> QuantizedTensor:
+        return QuantizedTensor(values=x.values.reshape(-1), frac_bits=x.frac_bits)

@@ -1,0 +1,140 @@
+"""The MLaaS verifiable-inference service (paper §5, Figure 8).
+
+Three components, exactly as the paper draws them:
+
+* an **interface** — :class:`PredictionResponse` carries everything the
+  customer sees (prediction, proof, model commitment);
+* the **ML engine** — quantized inference with intermediate-activation
+  traces;
+* the **ZKP system** — the real SNARK for circuit-scale models, and the
+  calibrated pipeline simulation for the VGG-16 workload of Table 11.
+
+The preprocessing stage Merkle-commits the model parameters; the root is
+the customer's anchor that the committed model — and not a substitute —
+produced every prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.prover import SnarkProver, make_pcs
+from ..core.verifier import SnarkVerifier
+from ..core.proof import SnarkProof
+from ..errors import ZkmlError
+from ..field.prime_field import DEFAULT_FIELD, PrimeField
+from ..hashing.hashers import Hasher, get_hasher
+from ..merkle.tree import MerkleTree
+from ..pipeline.system import BatchZkpSystem, SystemResult
+from .circuitize import ZkmlCircuit, circuitize
+from .model import SequentialModel
+from .tensor import QuantizedTensor
+
+#: Stage caps for the deep VGG pipeline: uncapped — the verifiable-CNN
+#: pipeline dedicates kernels to every layer of its much deeper module
+#: chain, which is why Table 11's latency (15.2 s) is ~145 beats while the
+#: S = 2^20 system of Table 8 sits at ~28.
+VGG_STAGE_CAPS = {"encoder": 10_000, "merkle": 10_000, "sumcheck": 10_000}
+
+
+@dataclass
+class PredictionResponse:
+    """What the service returns to a customer for one input."""
+
+    prediction: List[int]  # output logits (signed ints, quantized scale)
+    proof: Optional[SnarkProof]
+    model_root: bytes
+
+
+class MlaasService:
+    """A verifiable prediction service over a circuit-friendly model.
+
+    >>> # See examples/verifiable_ml.py for an end-to-end run.
+    """
+
+    def __init__(
+        self,
+        model: SequentialModel,
+        field: PrimeField = DEFAULT_FIELD,
+        hasher: Optional[Hasher] = None,
+        num_col_checks: int = 10,
+    ):
+        self.model = model
+        self.field = field
+        self.hasher = hasher or get_hasher("sha256-hw")
+        self.num_col_checks = num_col_checks
+        # Preprocessing (Figure 8): commit the model parameters once.
+        self._param_tree = MerkleTree.from_blocks(
+            model.parameter_blocks(), self.hasher
+        )
+
+    @property
+    def model_root(self) -> bytes:
+        """The Merkle commitment customers pin the model to."""
+        return self._param_tree.root
+
+    # -- plain prediction (the "ML engine") -----------------------------------
+
+    def predict(self, x: QuantizedTensor) -> QuantizedTensor:
+        return self.model.forward(x)
+
+    # -- verifiable prediction --------------------------------------------------
+
+    def prove_prediction(self, x: QuantizedTensor) -> PredictionResponse:
+        """Predict and produce a real SNARK proof of the inference."""
+        zk = circuitize(self.model, x, self.field)
+        compiled = zk.compiled
+        pcs = make_pcs(self.field, compiled.r1cs, num_col_checks=self.num_col_checks)
+        prover = SnarkProver(
+            compiled.r1cs, pcs, public_indices=compiled.public_indices
+        )
+        proof = prover.prove(compiled.witness, compiled.public_values)
+        return PredictionResponse(
+            prediction=zk.outputs, proof=proof, model_root=self.model_root
+        )
+
+    def verify_prediction(
+        self, x: QuantizedTensor, response: PredictionResponse
+    ) -> bool:
+        """Customer-side check: commitment matches, proof verifies.
+
+        Re-deriving the circuit requires the model *structure* (public) but
+        not its parameters in a real deployment; this reproduction's
+        circuit carries the parameters as witness, so the customer check
+        here recompiles with the service's model object and verifies the
+        proof against the claimed public outputs.
+        """
+        if response.model_root != self.model_root:
+            return False
+        if response.proof is None:
+            return False
+        zk = circuitize(self.model, x, self.field)
+        compiled = zk.compiled
+        pcs = make_pcs(self.field, compiled.r1cs, num_col_checks=self.num_col_checks)
+        verifier = SnarkVerifier(
+            compiled.r1cs, pcs, public_indices=compiled.public_indices
+        )
+        p = self.field.modulus
+        claimed = [v % p for v in response.prediction]
+        return verifier.verify(response.proof, claimed)
+
+
+def simulate_vgg16_service(
+    model: SequentialModel,
+    device: str = "GH200",
+    batch_size: int = 256,
+) -> SystemResult:
+    """Table 11: simulate batch proof generation for the VGG-16 circuit.
+
+    The model's gate count (from the zkCNN-style per-layer accounting)
+    drives the calibrated pipeline; the returned result carries the
+    throughput (proofs/second) and latency the table reports.
+    """
+    gates = model.gate_count()
+    if gates < 1 << 20:
+        raise ZkmlError(
+            f"simulate_vgg16_service expects a large model, got {gates} gates"
+        )
+    system = BatchZkpSystem(device, scale=gates, stage_caps=VGG_STAGE_CAPS)
+    return system.simulate(batch_size=batch_size)

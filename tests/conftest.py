@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.field import DEFAULT_FIELD, PrimeField
+from repro.field.primes import BN254_SCALAR, GOLDILOCKS, MERSENNE31
+
+
+@pytest.fixture
+def field():
+    """The library's default field (Mersenne-61)."""
+    return DEFAULT_FIELD
+
+
+@pytest.fixture
+def small_field():
+    """A tiny field where exhaustive checks are feasible."""
+    return PrimeField(97)
+
+
+@pytest.fixture(params=["m61", "m31", "goldilocks", "bn254"])
+def any_field(request):
+    """Sweep representative field sizes (31-bit to 254-bit)."""
+    moduli = {
+        "m61": DEFAULT_FIELD.modulus,
+        "m31": MERSENNE31,
+        "goldilocks": GOLDILOCKS,
+        "bn254": BN254_SCALAR,
+    }
+    return PrimeField(moduli[request.param], name=request.param, check=False)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBA7C4)

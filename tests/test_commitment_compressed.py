@@ -1,0 +1,142 @@
+"""Compressed (multiproof) PCS openings: correctness, size, end-to-end."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.commitment import BrakedownPCS
+from repro.core import (
+    SnarkProver,
+    SnarkVerifier,
+    deserialize_proof,
+    make_pcs,
+    random_circuit,
+    serialize_proof,
+)
+from repro.field import DEFAULT_FIELD, MultilinearPolynomial
+from repro.hashing import Transcript
+
+F = DEFAULT_FIELD
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """(compressed PCS, plain PCS) with identical code parameters."""
+    compressed = BrakedownPCS(
+        F, num_vars=10, seed=4, num_col_checks=16, compress_openings=True
+    )
+    plain = BrakedownPCS(F, num_vars=10, seed=4, num_col_checks=16)
+    return compressed, plain
+
+
+@pytest.fixture(scope="module")
+def committed(pair):
+    rng = random.Random(13)
+    ml = MultilinearPolynomial.random(F, 10, rng)
+    compressed, plain = pair
+    com_c, state_c = compressed.commit(ml.evals)
+    com_p, state_p = plain.commit(ml.evals)
+    return ml, (com_c, state_c), (com_p, state_p)
+
+
+class TestCompressedOpenings:
+    def test_same_commitment_root(self, committed):
+        """Compression is an opening-time choice; commitments agree."""
+        _, (com_c, _), (com_p, _) = committed
+        assert com_c.root == com_p.root
+
+    def test_roundtrip(self, pair, committed, rng):
+        compressed, _ = pair
+        ml, (com, state), _ = committed
+        pt = F.rand_vector(10, rng)
+        proof = compressed.open(state, pt, Transcript(b"c"))
+        assert proof.multiproof is not None
+        assert all(c.path is None for c in proof.columns)
+        assert compressed.verify(com, pt, ml.evaluate(pt), proof, Transcript(b"c"))
+
+    def test_smaller_than_plain(self, pair, committed, rng):
+        compressed, plain = pair
+        ml, (com_c, state_c), (com_p, state_p) = committed
+        pt = F.rand_vector(10, rng)
+        proof_c = compressed.open(state_c, pt, Transcript(b"c"))
+        proof_p = plain.open(state_p, pt, Transcript(b"c"))
+        assert proof_c.size_bytes(F) < proof_p.size_bytes(F)
+
+    def test_wrong_value_rejected(self, pair, committed, rng):
+        compressed, _ = pair
+        ml, (com, state), _ = committed
+        pt = F.rand_vector(10, rng)
+        proof = compressed.open(state, pt, Transcript(b"c"))
+        value = ml.evaluate(pt)
+        assert not compressed.verify(
+            com, pt, (value + 1) % F.modulus, proof, Transcript(b"c")
+        )
+
+    def test_tampered_column_rejected(self, pair, committed, rng):
+        compressed, _ = pair
+        ml, (com, state), _ = committed
+        pt = F.rand_vector(10, rng)
+        proof = compressed.open(state, pt, Transcript(b"c"))
+        value = ml.evaluate(pt)
+        bad_col = dataclasses.replace(
+            proof.columns[0],
+            values=[(v + 1) % F.modulus for v in proof.columns[0].values],
+        )
+        bad = dataclasses.replace(
+            proof, columns=[bad_col] + list(proof.columns[1:])
+        )
+        assert not compressed.verify(com, pt, value, bad, Transcript(b"c"))
+
+    def test_missing_multiproof_rejected(self, pair, committed, rng):
+        compressed, _ = pair
+        ml, (com, state), _ = committed
+        pt = F.rand_vector(10, rng)
+        proof = compressed.open(state, pt, Transcript(b"c"))
+        bad = dataclasses.replace(proof, multiproof=None)
+        assert not compressed.verify(
+            com, pt, ml.evaluate(pt), bad, Transcript(b"c")
+        )
+
+    def test_mode_mixup_rejected(self, pair, committed, rng):
+        """A plain verifier must reject compressed proofs (different
+        params) and vice versa — modes are part of the public setup."""
+        from repro.errors import CommitmentError
+
+        compressed, plain = pair
+        ml, (com_c, state_c), (com_p, state_p) = committed
+        pt = F.rand_vector(10, rng)
+        proof_c = compressed.open(state_c, pt, Transcript(b"c"))
+        with pytest.raises(CommitmentError):
+            plain.verify(com_c, pt, ml.evaluate(pt), proof_c, Transcript(b"c"))
+
+
+class TestCompressedSnark:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        cc = random_circuit(F, 48, seed=71)
+        pcs = make_pcs(F, cc.r1cs, num_col_checks=8, compress_openings=True)
+        prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+        verifier = SnarkVerifier(cc.r1cs, pcs, public_indices=cc.public_indices)
+        proof = prover.prove(cc.witness, cc.public_values)
+        return cc, pcs, verifier, proof
+
+    def test_end_to_end(self, setting):
+        cc, _, verifier, proof = setting
+        assert verifier.verify(proof, cc.public_values)
+
+    def test_smaller_than_plain_snark(self, setting):
+        cc, _, _, proof = setting
+        plain_pcs = make_pcs(F, cc.r1cs, num_col_checks=8)
+        plain_prover = SnarkProver(
+            cc.r1cs, plain_pcs, public_indices=cc.public_indices
+        )
+        plain_proof = plain_prover.prove(cc.witness, cc.public_values)
+        assert proof.size_bytes(F) < plain_proof.size_bytes(F)
+
+    def test_serialization_roundtrip(self, setting):
+        cc, pcs, verifier, proof = setting
+        blob = serialize_proof(proof, F)
+        again = deserialize_proof(blob, F, pcs.params)
+        assert again.witness_opening.multiproof == proof.witness_opening.multiproof
+        assert verifier.verify(again, cc.public_values)

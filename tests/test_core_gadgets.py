@@ -1,0 +1,186 @@
+"""R1CS gadget tests: bit decomposition, comparisons, ReLU, mux."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CircuitBuilder,
+    SnarkProver,
+    SnarkVerifier,
+    abs_value,
+    assert_in_range,
+    compile_builder,
+    from_bits,
+    is_zero,
+    less_than,
+    make_pcs,
+    max_gadget,
+    mux,
+    relu,
+    sign_bit,
+    to_bits,
+)
+from repro.errors import CircuitError
+from repro.field import DEFAULT_FIELD
+
+F = DEFAULT_FIELD
+
+
+def finalize_and_check(cb):
+    r1cs, witness, publics = cb.finalize()
+    assert r1cs.is_satisfied(witness)
+    return r1cs, witness, publics
+
+
+class TestBits:
+    @given(value=st.integers(min_value=0, max_value=(1 << 12) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, value):
+        cb = CircuitBuilder(F)
+        x = cb.private_input(value)
+        bits = to_bits(cb, x, 12)
+        assert [cb.wire_value(b) for b in bits] == [
+            (value >> i) & 1 for i in range(12)
+        ]
+        back = from_bits(cb, bits)
+        cb.assert_equal(back, x)
+        finalize_and_check(cb)
+
+    def test_gate_cost(self):
+        cb = CircuitBuilder(F)
+        x = cb.private_input(123)
+        before = cb.num_multiplications
+        to_bits(cb, x, 8)
+        # 8 booleanity checks + 1 recomposition equality.
+        assert cb.num_multiplications - before == 9
+
+    def test_out_of_range_rejected(self):
+        cb = CircuitBuilder(F)
+        x = cb.private_input(256)
+        with pytest.raises(CircuitError):
+            to_bits(cb, x, 8)
+
+    def test_assert_in_range(self):
+        cb = CircuitBuilder(F)
+        assert_in_range(cb, cb.private_input(255), 8)
+        finalize_and_check(cb)
+
+    def test_empty_bits_rejected(self):
+        cb = CircuitBuilder(F)
+        with pytest.raises(CircuitError):
+            from_bits(cb, [])
+
+
+class TestIsZeroAndMux:
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 0), (12345, 0)])
+    def test_is_zero(self, value, expected):
+        cb = CircuitBuilder(F)
+        out = is_zero(cb, cb.private_input(value))
+        assert cb.wire_value(out) == expected
+        finalize_and_check(cb)
+
+    def test_mux_selects(self):
+        cb = CircuitBuilder(F)
+        a, b = cb.private_input(10), cb.private_input(20)
+        one, zero = cb.private_input(1), cb.private_input(0)
+        assert cb.wire_value(mux(cb, one, a, b)) == 10
+        assert cb.wire_value(mux(cb, zero, a, b)) == 20
+        finalize_and_check(cb)
+
+    def test_mux_nonboolean_rejected(self):
+        cb = CircuitBuilder(F)
+        a, b = cb.private_input(10), cb.private_input(20)
+        with pytest.raises(CircuitError):
+            mux(cb, cb.private_input(2), a, b)
+
+
+class TestSignedGadgets:
+    @given(value=st.integers(min_value=-(1 << 10), max_value=(1 << 10) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_relu(self, value):
+        cb = CircuitBuilder(F)
+        x = cb.private_input(value)
+        out = relu(cb, x, bits=12)
+        want = max(value, 0) % F.modulus
+        assert cb.wire_value(out) == want
+        finalize_and_check(cb)
+
+    @given(value=st.integers(min_value=-(1 << 10), max_value=(1 << 10) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_abs(self, value):
+        cb = CircuitBuilder(F)
+        out = abs_value(cb, cb.private_input(value), bits=12)
+        assert cb.wire_value(out) == abs(value) % F.modulus
+        finalize_and_check(cb)
+
+    def test_sign_bit(self):
+        for value, want in ((-5, 0), (0, 1), (7, 1)):
+            cb = CircuitBuilder(F)
+            nonneg, bits = sign_bit(cb, cb.private_input(value), bits=8)
+            assert cb.wire_value(nonneg) == want
+            assert len(bits) == 8
+            finalize_and_check(cb)
+
+    def test_out_of_signed_range_rejected(self):
+        cb = CircuitBuilder(F)
+        with pytest.raises(CircuitError):
+            relu(cb, cb.private_input(1 << 12), bits=12)
+
+
+class TestComparisons:
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_less_than(self, a, b):
+        cb = CircuitBuilder(F)
+        out = less_than(cb, cb.private_input(a), cb.private_input(b), bits=8)
+        assert cb.wire_value(out) == int(a < b)
+        finalize_and_check(cb)
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_max(self, a, b):
+        cb = CircuitBuilder(F)
+        out = max_gadget(cb, cb.private_input(a), cb.private_input(b), bits=8)
+        assert cb.wire_value(out) == max(a, b)
+        finalize_and_check(cb)
+
+    def test_operand_too_wide_rejected(self):
+        cb = CircuitBuilder(F)
+        with pytest.raises(CircuitError):
+            less_than(cb, cb.private_input(256), cb.private_input(0), bits=8)
+
+
+class TestGadgetsInProofs:
+    def test_prove_relu_statement(self):
+        """End-to-end proof of a statement containing a ReLU gadget."""
+        cb = CircuitBuilder(F)
+        x = cb.private_input(-42)
+        cb.expose_public(relu(cb, x, bits=16))
+        cc = compile_builder(cb)
+        assert cc.public_values == [0]
+        pcs = make_pcs(F, cc.r1cs, num_col_checks=5)
+        prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+        verifier = SnarkVerifier(cc.r1cs, pcs, public_indices=cc.public_indices)
+        proof = prover.prove(cc.witness, cc.public_values)
+        assert verifier.verify(proof, [0])
+        assert not verifier.verify(proof, [F.modulus - 42])
+
+    def test_prove_range_statement(self):
+        """'This committed value fits 16 bits' — a pure range proof."""
+        cb = CircuitBuilder(F)
+        x = cb.private_input(40000)
+        assert_in_range(cb, x, 16)
+        cb.expose_public(cb.mul(x, cb.constant(1)))
+        cc = compile_builder(cb)
+        pcs = make_pcs(F, cc.r1cs, num_col_checks=5)
+        prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+        verifier = SnarkVerifier(cc.r1cs, pcs, public_indices=cc.public_indices)
+        proof = prover.prove(cc.witness, cc.public_values)
+        assert verifier.verify(proof, [40000])

@@ -1,0 +1,129 @@
+"""Tests for the vectorised Mersenne-31 fast field."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, NonInvertibleError
+from repro.field import (
+    F31Vector,
+    MERSENNE31,
+    as_f31,
+    f31_add,
+    f31_dot,
+    f31_inv,
+    f31_mul,
+    f31_neg,
+    f31_random,
+    f31_scale,
+    f31_sub,
+    f31_sum,
+)
+
+P = MERSENNE31
+residues = st.lists(
+    st.integers(min_value=0, max_value=P - 1), min_size=1, max_size=40
+)
+
+
+def _np(vals):
+    return np.asarray(vals, dtype=np.uint64)
+
+
+class TestKernels:
+    @given(vals=residues)
+    @settings(max_examples=50)
+    def test_mul_matches_python(self, vals):
+        a = _np(vals)
+        got = f31_mul(a, a)
+        want = [(v * v) % P for v in vals]
+        assert [int(x) for x in got] == want
+
+    @given(vals=residues)
+    @settings(max_examples=50)
+    def test_add_sub_inverse(self, vals):
+        a = _np(vals)
+        b = _np(list(reversed(vals)))
+        assert np.array_equal(f31_sub(f31_add(a, b), b), a)
+
+    def test_extreme_values(self):
+        a = _np([P - 1, P - 1])
+        assert [int(x) for x in f31_mul(a, a)] == [pow(P - 1, 2, P)] * 2
+        assert [int(x) for x in f31_add(a, a)] == [(2 * (P - 1)) % P] * 2
+
+    def test_neg(self):
+        a = _np([0, 1, P - 1])
+        assert [int(x) for x in f31_neg(a)] == [0, P - 1, 1]
+
+    def test_scale(self):
+        a = _np([1, 2, 3])
+        assert [int(x) for x in f31_scale(P - 1, a)] == [
+            ((P - 1) * v) % P for v in (1, 2, 3)
+        ]
+
+    def test_sum_large_vector_exact(self):
+        a = np.full(1 << 21, P - 1, dtype=np.uint64)
+        assert f31_sum(a) == ((P - 1) * (1 << 21)) % P
+
+    def test_dot_matches_python(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, P, 1000, dtype=np.uint64)
+        b = rng.integers(0, P, 1000, dtype=np.uint64)
+        want = sum(int(x) * int(y) for x, y in zip(a, b)) % P
+        assert f31_dot(a, b) == want
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            f31_dot(_np([1]), _np([1, 2]))
+
+    def test_inv(self):
+        for v in (1, 2, P - 1, 12345):
+            assert (f31_inv(v) * v) % P == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(NonInvertibleError):
+            f31_inv(0)
+
+    def test_as_f31_reduces(self):
+        assert [int(x) for x in as_f31([P, P + 1, 2 * P + 5])] == [0, 1, 5]
+
+    def test_random_in_range(self):
+        vals = f31_random(1000, np.random.default_rng(0))
+        assert vals.max() < P
+
+
+class TestF31Vector:
+    def test_construction_and_len(self):
+        v = F31Vector([1, 2, 3])
+        assert len(v) == 3
+
+    def test_indexing(self):
+        v = F31Vector([10, 20, 30])
+        assert v[1] == 20
+        assert isinstance(v[1], int)
+        assert v[0:2].tolist() == [10, 20]
+
+    def test_arithmetic(self):
+        v = F31Vector([1, 2, 3])
+        w = F31Vector([4, 5, 6])
+        assert (v + w).tolist() == [5, 7, 9]
+        assert (w - v).tolist() == [3, 3, 3]
+        assert (v * w).tolist() == [4, 10, 18]
+        assert (3 * v).tolist() == [3, 6, 9]
+        assert (-v).tolist() == [P - 1, P - 2, P - 3]
+
+    def test_dot_and_sum(self):
+        v = F31Vector([1, 2, 3])
+        assert v.dot(v) == 14
+        assert v.sum() == 6
+
+    def test_equality(self):
+        assert F31Vector([1, 2]) == F31Vector([1, 2])
+        assert F31Vector([1, 2]) != F31Vector([2, 1])
+
+    def test_copy_semantics(self):
+        v = F31Vector([1, 2])
+        w = F31Vector(v)
+        w.data[0] = 99
+        assert v[0] == 1

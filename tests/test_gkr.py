@@ -1,0 +1,232 @@
+"""GKR protocol tests: circuits, two-phase sum-check, end-to-end."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CircuitError
+from repro.field import DEFAULT_FIELD, PrimeField
+from repro.field.primes import BN254_SCALAR
+from repro.gkr import (
+    ADD,
+    Gate,
+    GkrProver,
+    GkrVerifier,
+    LayeredCircuit,
+    MUL,
+    matmul_circuit,
+    random_layered_circuit,
+)
+
+F = DEFAULT_FIELD
+
+
+def tiny_circuit():
+    """out0 = (a+b)*(c*d), out1 = a+b — a hand-checkable 2-layer circuit."""
+    layer1 = [Gate(ADD, 0, 1), Gate(MUL, 2, 3)]  # s = a+b, t = c*d
+    layer0 = [Gate(MUL, 0, 1), Gate(ADD, 0, 0)]  # s*t, s+s
+    return LayeredCircuit(F, [layer0, layer1], input_size=4)
+
+
+class TestLayeredCircuit:
+    def test_tiny_evaluation(self):
+        c = tiny_circuit()
+        outs = c.outputs([2, 3, 4, 5])
+        assert outs == [(2 + 3) * (4 * 5), (2 + 3) * 2]
+
+    def test_padding_to_power_of_two(self):
+        c = tiny_circuit()
+        values = c.evaluate([1, 1, 1, 1])
+        for i in range(c.depth + 1):
+            assert len(values[i]) == 1 << c.layer_vars(i)
+
+    def test_gate_validation(self):
+        with pytest.raises(CircuitError):
+            Gate("xor", 0, 1)
+        with pytest.raises(CircuitError):
+            Gate(ADD, -1, 0)
+
+    def test_wiring_validation(self):
+        with pytest.raises(CircuitError):
+            LayeredCircuit(F, [[Gate(ADD, 0, 5)]], input_size=4)
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(CircuitError):
+            LayeredCircuit(F, [[]], input_size=2)
+
+    def test_input_count_enforced(self):
+        c = tiny_circuit()
+        with pytest.raises(CircuitError):
+            c.evaluate([1, 2, 3])
+
+    def test_gate_counters(self):
+        c = tiny_circuit()
+        assert c.total_gates() == 4
+        assert c.mul_gates() == 2
+
+    def test_digest_binds_structure(self):
+        a = tiny_circuit()
+        b = LayeredCircuit(
+            F,
+            [[Gate(MUL, 0, 1), Gate(ADD, 0, 0)], [Gate(MUL, 0, 1), Gate(MUL, 2, 3)]],
+            input_size=4,
+        )
+        assert a.digest() != b.digest()
+        assert a.digest() == tiny_circuit().digest()
+
+    def test_random_circuit_deterministic(self):
+        a = random_layered_circuit(F, seed=5)
+        b = random_layered_circuit(F, seed=5)
+        assert a.digest() == b.digest()
+
+
+class TestMatmulCircuit:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_computes_matrix_product(self, n, rng):
+        c = matmul_circuit(F, n)
+        a = [[rng.randrange(100) for _ in range(n)] for _ in range(n)]
+        b = [[rng.randrange(100) for _ in range(n)] for _ in range(n)]
+        ins = [v for row in a for v in row] + [v for row in b for v in row]
+        outs = c.outputs(ins)
+        want = [
+            sum(a[i][k] * b[k][j] for k in range(n)) % F.modulus
+            for i in range(n)
+            for j in range(n)
+        ]
+        assert outs == want
+
+    def test_depth_is_logarithmic(self):
+        assert matmul_circuit(F, 4).depth == 1 + 2  # products + log2(4) adds
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(CircuitError):
+            matmul_circuit(F, 3)
+
+
+class TestGkrCompleteness:
+    def test_tiny_circuit(self, rng):
+        c = tiny_circuit()
+        inputs = F.rand_vector(4, rng)
+        proof = GkrProver(c).prove(inputs)
+        assert GkrVerifier(c).verify(inputs, proof)
+
+    @pytest.mark.parametrize("depth,width", [(1, 4), (3, 8), (5, 16), (2, 32)])
+    def test_random_circuits(self, depth, width, rng):
+        c = random_layered_circuit(F, depth=depth, width=width, input_size=8, seed=depth * 100 + width)
+        inputs = F.rand_vector(8, rng)
+        proof = GkrProver(c).prove(inputs)
+        assert GkrVerifier(c).verify(inputs, proof)
+
+    def test_matmul_proof(self, rng):
+        c = matmul_circuit(F, 4)
+        ins = F.rand_vector(32, rng)
+        proof = GkrProver(c).prove(ins)
+        assert GkrVerifier(c).verify(ins, proof)
+
+    def test_other_field(self, rng):
+        field = PrimeField(BN254_SCALAR, check=False)
+        c = random_layered_circuit(field, depth=2, width=4, input_size=4, seed=9)
+        inputs = field.rand_vector(4, rng)
+        proof = GkrProver(c).prove(inputs)
+        assert GkrVerifier(c).verify(inputs, proof)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_property_completeness(self, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        c = random_layered_circuit(F, depth=2, width=4, input_size=4, seed=seed)
+        inputs = F.rand_vector(4, rng)
+        proof = GkrProver(c).prove(inputs)
+        assert GkrVerifier(c).verify(inputs, proof)
+
+
+class TestGkrSoundness:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        import random as _random
+
+        rng = _random.Random(7)
+        c = random_layered_circuit(F, depth=3, width=8, input_size=8, seed=77)
+        inputs = F.rand_vector(8, rng)
+        proof = GkrProver(c).prove(inputs)
+        return c, inputs, proof
+
+    def test_tampered_output(self, setting):
+        c, inputs, proof = setting
+        bad = dataclasses.replace(
+            proof, outputs=[(proof.outputs[0] + 1) % F.modulus] + proof.outputs[1:]
+        )
+        assert not GkrVerifier(c).verify(inputs, bad)
+
+    def test_wrong_inputs(self, setting):
+        c, inputs, proof = setting
+        assert not GkrVerifier(c).verify(
+            [(v + 1) % F.modulus for v in inputs], proof
+        )
+
+    def test_tampered_phase1_round(self, setting):
+        c, inputs, proof = setting
+        lp = proof.layer_proofs[0]
+        rounds = [list(r) for r in lp.phase1_rounds]
+        rounds[0][0] = (rounds[0][0] + 1) % F.modulus
+        bad_lp = dataclasses.replace(lp, phase1_rounds=rounds)
+        bad = dataclasses.replace(
+            proof, layer_proofs=[bad_lp] + proof.layer_proofs[1:]
+        )
+        assert not GkrVerifier(c).verify(inputs, bad)
+
+    def test_tampered_phase2_round(self, setting):
+        c, inputs, proof = setting
+        lp = proof.layer_proofs[-1]
+        rounds = [list(r) for r in lp.phase2_rounds]
+        rounds[-1][2] = (rounds[-1][2] + 1) % F.modulus
+        bad_lp = dataclasses.replace(lp, phase2_rounds=rounds)
+        bad = dataclasses.replace(
+            proof, layer_proofs=proof.layer_proofs[:-1] + [bad_lp]
+        )
+        assert not GkrVerifier(c).verify(inputs, bad)
+
+    def test_tampered_value_claims(self, setting):
+        c, inputs, proof = setting
+        for layer_idx in (0, len(proof.layer_proofs) - 1):
+            lp = proof.layer_proofs[layer_idx]
+            bad_lp = dataclasses.replace(lp, v_u=(lp.v_u + 1) % F.modulus)
+            layers = list(proof.layer_proofs)
+            layers[layer_idx] = bad_lp
+            bad = dataclasses.replace(proof, layer_proofs=layers)
+            assert not GkrVerifier(c).verify(inputs, bad)
+
+    def test_truncated_proof(self, setting):
+        c, inputs, proof = setting
+        bad = dataclasses.replace(proof, layer_proofs=proof.layer_proofs[:-1])
+        assert not GkrVerifier(c).verify(inputs, bad)
+
+    def test_circuit_substitution(self, setting):
+        """A proof for one circuit must not verify against another."""
+        c, inputs, proof = setting
+        other = random_layered_circuit(F, depth=3, width=8, input_size=8, seed=78)
+        assert not GkrVerifier(other).verify(inputs, proof)
+
+
+class TestGkrProperties:
+    def test_proof_size_linear_in_depth(self):
+        import random as _random
+
+        rng = _random.Random(0)
+        sizes = []
+        for depth in (1, 2, 4):
+            c = random_layered_circuit(F, depth=depth, width=8, input_size=8, seed=depth)
+            proof = GkrProver(c).prove(F.rand_vector(8, rng))
+            sizes.append(proof.size_field_elements())
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_deterministic_proofs(self, rng):
+        c = random_layered_circuit(F, depth=2, width=4, input_size=4, seed=11)
+        inputs = F.rand_vector(4, rng)
+        p1 = GkrProver(c).prove(inputs)
+        p2 = GkrProver(c).prove(inputs)
+        assert p1 == p2

@@ -1,0 +1,182 @@
+"""MiMC algebraic hash tests, including the in-circuit gadget."""
+
+import pytest
+
+from repro.core import CircuitBuilder, SnarkProver, SnarkVerifier, compile_builder, make_pcs
+from repro.errors import HashError
+from repro.field import DEFAULT_FIELD, PrimeField
+from repro.field.primes import BN254_SCALAR, GOLDILOCKS, MERSENNE31
+from repro.hashing import (
+    MimcPermutation,
+    MimcSponge,
+    default_rounds,
+    derive_round_constants,
+    mimc_circuit_encrypt,
+    mimc_gate_count,
+    mimc_merkle_root,
+    power_is_permutation,
+    select_alpha,
+)
+
+F = DEFAULT_FIELD
+
+
+class TestAlphaSelection:
+    def test_bn254_gets_poseidon_alpha(self):
+        assert select_alpha(BN254_SCALAR) == 5
+
+    def test_m31_gets_five(self):
+        assert select_alpha(MERSENNE31) == 5
+
+    def test_m61_is_hostile(self):
+        """p−1 = 2·(2^60−1) is divisible by 2^d−1 for every d | 60, so
+        3, 5, 7, 11, 13 all fail; 17 is the smallest usable exponent."""
+        for bad in (3, 5, 7, 11, 13):
+            assert not power_is_permutation(F.modulus, bad)
+        assert select_alpha(F.modulus) == 17
+
+    def test_goldilocks(self):
+        """3 and 5 divide p−1 for Goldilocks; 7 works."""
+        assert not power_is_permutation(GOLDILOCKS, 3)
+        assert not power_is_permutation(GOLDILOCKS, 5)
+        assert select_alpha(GOLDILOCKS) == 7
+
+    def test_explicit_bad_alpha_rejected(self):
+        with pytest.raises(HashError):
+            MimcPermutation(F, alpha=3)
+
+    def test_default_rounds_scale(self):
+        assert default_rounds(BN254_SCALAR, 5) > default_rounds(F.modulus, 17)
+
+
+class TestPermutation:
+    @pytest.fixture(scope="class")
+    def perm(self):
+        return MimcPermutation(F)
+
+    def test_deterministic(self, perm):
+        assert perm.encrypt(5, 7) == perm.encrypt(5, 7)
+
+    def test_key_sensitivity(self, perm):
+        assert perm.encrypt(5, 7) != perm.encrypt(6, 7)
+
+    def test_message_sensitivity(self, perm):
+        assert perm.encrypt(5, 7) != perm.encrypt(5, 8)
+
+    def test_is_bijection_on_small_field(self):
+        small = PrimeField(103)  # 102 = 2·3·17: alpha must dodge 3 and 17
+        perm = MimcPermutation(small, rounds=5)
+        images = {perm.encrypt(3, x) for x in range(103)}
+        assert len(images) == 103
+
+    def test_round_constants_first_zero(self):
+        consts = derive_round_constants(F, 8)
+        assert consts[0] == 0
+        assert len(set(consts)) == len(consts)
+
+    def test_constants_depend_on_seed(self):
+        a = derive_round_constants(F, 8, seed=b"a")
+        b = derive_round_constants(F, 8, seed=b"b")
+        assert a[1:] != b[1:]
+
+    def test_compress_not_symmetric(self, perm):
+        assert perm.compress(1, 2) != perm.compress(2, 1)
+
+    def test_works_on_bn254(self):
+        perm = MimcPermutation(PrimeField(BN254_SCALAR, check=False), rounds=10)
+        assert perm.alpha == 5
+        assert 0 <= perm.encrypt(1, 2) < BN254_SCALAR
+
+
+class TestSponge:
+    @pytest.fixture(scope="class")
+    def sponge(self):
+        return MimcSponge(F)
+
+    def test_deterministic(self, sponge):
+        assert sponge.hash([1, 2, 3]) == sponge.hash([1, 2, 3])
+
+    def test_order_matters(self, sponge):
+        assert sponge.hash([1, 2]) != sponge.hash([2, 1])
+
+    def test_length_padding_unambiguous(self, sponge):
+        assert sponge.hash([1]) != sponge.hash([1, 0])
+        assert sponge.hash([]) != sponge.hash([0])
+
+    def test_outputs_in_field(self, sponge, rng):
+        for _ in range(20):
+            vals = F.rand_vector(rng.randrange(1, 6), rng)
+            assert 0 <= sponge.hash(vals) < F.modulus
+
+    def test_avalanche(self, sponge, rng):
+        """Changing any one input element changes the digest."""
+        vals = F.rand_vector(8, rng)
+        base = sponge.hash(vals)
+        for i in range(8):
+            mutated = list(vals)
+            mutated[i] = (mutated[i] + 1) % F.modulus
+            assert sponge.hash(mutated) != base
+
+
+class TestMimcMerkle:
+    def test_root_deterministic_and_binding(self, rng):
+        leaves = F.rand_vector(8, rng)
+        root = mimc_merkle_root(F, leaves)
+        assert root == mimc_merkle_root(F, leaves)
+        mutated = list(leaves)
+        mutated[3] = (mutated[3] + 1) % F.modulus
+        assert root != mimc_merkle_root(F, mutated)
+
+    def test_pads_to_power_of_two(self, rng):
+        leaves = F.rand_vector(5, rng)
+        assert mimc_merkle_root(F, leaves) == mimc_merkle_root(
+            F, leaves + [0, 0, 0]
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(HashError):
+            mimc_merkle_root(F, [])
+
+
+class TestInCircuitMimc:
+    def test_circuit_matches_native(self):
+        perm = MimcPermutation(F, rounds=6)
+        cb = CircuitBuilder(F)
+        key = cb.private_input(123)
+        msg = cb.private_input(456)
+        out = mimc_circuit_encrypt(cb, key, msg, perm)
+        assert cb.wire_value(out) == perm.encrypt(123, 456)
+        assert cb.num_multiplications == mimc_gate_count(perm)
+
+    def test_gate_count_formula(self):
+        """alpha = 17 = 10001b: 4 squarings + 1 multiply per round."""
+        perm = MimcPermutation(F, rounds=10)
+        assert perm.alpha == 17
+        assert mimc_gate_count(perm) == 10 * 5
+
+    def test_prove_preimage_knowledge(self):
+        """The canonical ZK statement: 'I know (k, m) hashing to this
+        digest' — proved with the real SNARK over the MiMC circuit."""
+        perm = MimcPermutation(F, rounds=6)
+        cb = CircuitBuilder(F)
+        key = cb.private_input(0xDEADBEEF)
+        msg = cb.private_input(0xCAFEF00D)
+        digest = mimc_circuit_encrypt(cb, key, msg, perm)
+        cb.expose_public(digest)
+        cc = compile_builder(cb)
+        expected = perm.encrypt(0xDEADBEEF, 0xCAFEF00D)
+        assert cc.public_values == [expected]
+
+        pcs = make_pcs(F, cc.r1cs, num_col_checks=6)
+        prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+        verifier = SnarkVerifier(cc.r1cs, pcs, public_indices=cc.public_indices)
+        proof = prover.prove(cc.witness, cc.public_values)
+        assert verifier.verify(proof, [expected])
+        assert not verifier.verify(proof, [(expected + 1) % F.modulus])
+
+    def test_field_mismatch_raises(self):
+        perm = MimcPermutation(F, rounds=4)
+        cb = CircuitBuilder(PrimeField(BN254_SCALAR, check=False))
+        k = cb.private_input(1)
+        with pytest.raises(HashError):
+            mimc_circuit_encrypt(cb, k, k, perm)

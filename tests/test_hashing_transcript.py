@@ -1,0 +1,118 @@
+"""Fiat–Shamir transcript tests: determinism, binding, domain separation."""
+
+import pytest
+
+from repro.errors import HashError
+from repro.field import DEFAULT_FIELD, PrimeField
+from repro.hashing import Transcript
+
+F = DEFAULT_FIELD
+
+
+def make_pair(label=b"t"):
+    return Transcript(label), Transcript(label)
+
+
+class TestDeterminism:
+    def test_same_absorbs_same_challenges(self):
+        t1, t2 = make_pair()
+        for t in (t1, t2):
+            t.absorb_bytes(b"a", b"hello")
+            t.absorb_field(b"b", F, 42)
+        assert t1.challenge_field(b"c", F) == t2.challenge_field(b"c", F)
+        assert t1.challenge_bytes(b"d", 16) == t2.challenge_bytes(b"d", 16)
+
+    def test_sequential_challenges_differ(self):
+        t = Transcript(b"t")
+        c1 = t.challenge_field(b"c", F)
+        c2 = t.challenge_field(b"c", F)
+        assert c1 != c2  # counter advances
+
+    def test_challenge_then_absorb_then_challenge(self):
+        t1, t2 = make_pair()
+        a = t1.challenge_field(b"c", F)
+        b = t2.challenge_field(b"c", F)
+        assert a == b
+        t1.absorb_int(b"x", 1)
+        t2.absorb_int(b"x", 1)
+        assert t1.challenge_field(b"c", F) == t2.challenge_field(b"c", F)
+
+
+class TestBinding:
+    def test_different_labels_diverge(self):
+        t1 = Transcript(b"one")
+        t2 = Transcript(b"two")
+        assert t1.challenge_field(b"c", F) != t2.challenge_field(b"c", F)
+
+    def test_different_data_diverges(self):
+        t1, t2 = make_pair()
+        t1.absorb_bytes(b"m", b"aaa")
+        t2.absorb_bytes(b"m", b"aab")
+        assert t1.challenge_field(b"c", F) != t2.challenge_field(b"c", F)
+
+    def test_different_tags_diverge(self):
+        t1, t2 = make_pair()
+        t1.absorb_bytes(b"tag1", b"x")
+        t2.absorb_bytes(b"tag2", b"x")
+        assert t1.challenge_field(b"c", F) != t2.challenge_field(b"c", F)
+
+    def test_tag_data_boundary_is_unambiguous(self):
+        """absorb(tag='ab', data='c') must differ from absorb('a', 'bc')."""
+        t1, t2 = make_pair()
+        t1.absorb_bytes(b"ab", b"c")
+        t2.absorb_bytes(b"a", b"bc")
+        assert t1.challenge_field(b"c", F) != t2.challenge_field(b"c", F)
+
+    def test_absorb_order_matters(self):
+        t1, t2 = make_pair()
+        t1.absorb_int(b"a", 1)
+        t1.absorb_int(b"b", 2)
+        t2.absorb_int(b"b", 2)
+        t2.absorb_int(b"a", 1)
+        assert t1.challenge_field(b"c", F) != t2.challenge_field(b"c", F)
+
+
+class TestFieldSampling:
+    def test_challenge_in_range(self):
+        t = Transcript(b"t")
+        small = PrimeField(97)
+        for i in range(50):
+            assert 0 <= t.challenge_field(b"c", small) < 97
+
+    def test_vector_length_and_distinctness(self):
+        t = Transcript(b"t")
+        vec = t.challenge_field_vector(b"v", F, 10)
+        assert len(vec) == 10
+        assert len(set(vec)) == 10  # 61-bit collisions are negligible
+
+    def test_indices_in_bounds(self):
+        t = Transcript(b"t")
+        idx = t.challenge_indices(b"i", 37, 100)
+        assert len(idx) == 100
+        assert all(0 <= i < 37 for i in idx)
+
+    def test_indices_bad_bound(self):
+        with pytest.raises(HashError):
+            Transcript(b"t").challenge_indices(b"i", 0, 1)
+
+    def test_challenge_bytes_length(self):
+        t = Transcript(b"t")
+        assert len(t.challenge_bytes(b"c", 100)) == 100
+
+
+class TestForkAndValidation:
+    def test_fork_depends_on_parent_state(self):
+        t1, t2 = make_pair()
+        t2.absorb_int(b"x", 9)
+        f1 = t1.fork(b"child")
+        f2 = t2.fork(b"child")
+        assert f1.challenge_field(b"c", F) != f2.challenge_field(b"c", F)
+
+    def test_fork_does_not_disturb_parent(self):
+        t1, t2 = make_pair()
+        _ = t1.fork(b"child")
+        assert t1.challenge_field(b"c", F) == t2.challenge_field(b"c", F)
+
+    def test_label_must_be_bytes(self):
+        with pytest.raises(HashError):
+            Transcript("str-label")  # type: ignore[arg-type]

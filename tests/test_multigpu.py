@@ -1,0 +1,78 @@
+"""Multi-GPU batch scaling tests."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import BatchZkpSystem, MultiGpuBatchSystem, farm_throughput
+
+SCALE = 1 << 14
+
+
+class TestSharding:
+    def test_shares_sum_to_batch(self):
+        farm = MultiGpuBatchSystem(["V100", "A100", "H100"], scale=SCALE)
+        for batch in (1, 7, 64, 257):
+            assert sum(farm.shard(batch)) == batch
+
+    def test_faster_devices_get_more(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        v100_share, h100_share = farm.shard(100)
+        assert h100_share > v100_share
+
+    def test_homogeneous_split_is_even(self):
+        farm = MultiGpuBatchSystem(["A100", "A100"], scale=SCALE)
+        assert farm.shard(100) == [50, 50]
+
+    def test_tiny_batch(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        shares = farm.shard(1)
+        assert sorted(shares) == [0, 1]
+
+    def test_invalid_batch(self):
+        farm = MultiGpuBatchSystem(["V100"], scale=SCALE)
+        with pytest.raises(PipelineError):
+            farm.shard(0)
+
+    def test_no_devices(self):
+        with pytest.raises(PipelineError):
+            MultiGpuBatchSystem([], scale=SCALE)
+
+
+class TestSimulation:
+    def test_two_gpus_beat_one(self):
+        single = BatchZkpSystem("A100", scale=SCALE).simulate(batch_size=512)
+        farm = MultiGpuBatchSystem(["A100", "A100"], scale=SCALE).simulate(
+            batch_size=512
+        )
+        assert (
+            farm.throughput_per_second
+            > 1.6 * single.sim.throughput_per_second
+        )
+
+    def test_efficiency_improves_with_batch(self):
+        farm = MultiGpuBatchSystem(["V100", "A100"], scale=SCALE)
+        small = farm.simulate(batch_size=32)
+        large = farm.simulate(batch_size=2048)
+        assert large.scaling_efficiency > small.scaling_efficiency
+        assert large.scaling_efficiency > 0.9
+
+    def test_wall_time_is_slowest_shard(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        res = farm.simulate(batch_size=128)
+        shard_times = [
+            s.result.sim.total_seconds for s in res.shards if s.result
+        ]
+        assert res.total_seconds == max(shard_times)
+
+    def test_zero_task_shard_allowed(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        res = farm.simulate(batch_size=1)
+        assert sum(res.tasks_by_device().values()) == 1
+        assert any(s.result is None for s in res.shards)
+
+    def test_heterogeneous_farm_ordering(self):
+        """Throughput grows monotonically as devices are added."""
+        t1 = farm_throughput(["V100"], SCALE, batch_size=512)
+        t2 = farm_throughput(["V100", "A100"], SCALE, batch_size=512)
+        t3 = farm_throughput(["V100", "A100", "H100"], SCALE, batch_size=512)
+        assert t1 < t2 < t3

@@ -1,0 +1,255 @@
+"""Pipeline stage-graph and full-system tests (paper §3–§4 claims)."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.gpu import GpuCostModel, get_gpu, run_cpu, run_naive, run_pipelined
+from repro.gpu.device import CPU_C5A_8XLARGE
+from repro.pipeline import (
+    BatchZkpSystem,
+    build_module_graphs,
+    encoder_graph,
+    encoder_stage_sizes,
+    merkle_graph,
+    sumcheck_graph,
+    zkp_system_graph,
+)
+
+GH200 = get_gpu("GH200")
+COSTS = GpuCostModel()
+
+
+class TestMerkleGraph:
+    def test_layer_count(self):
+        g = merkle_graph(1 << 10)
+        assert len(g.stages) == 11  # layers 0..10
+
+    def test_halving_work(self):
+        g = merkle_graph(1 << 8)
+        works = [s.work_units for s in g.stages]
+        assert works == [256, 128, 64, 32, 16, 8, 4, 2, 1]
+
+    def test_total_hashes_2n(self):
+        g = merkle_graph(1 << 12)
+        assert sum(s.work_units for s in g.stages) == 2 * (1 << 12) - 1
+
+    def test_non_power_of_two(self):
+        g = merkle_graph(100)
+        assert g.stages[0].work_units == 100
+        assert g.stages[-1].work_units == 1
+
+    def test_tail_merge_preserves_work(self):
+        full = merkle_graph(1 << 12)
+        capped = merkle_graph(1 << 12, max_stages=5)
+        assert len(capped.stages) == 5
+        assert sum(s.work_units for s in capped.stages) == sum(
+            s.work_units for s in full.stages
+        )
+        assert capped.total_bytes_out() == full.total_bytes_out()
+
+    def test_input_bytes_on_first_stage_only(self):
+        g = merkle_graph(1 << 8)
+        assert g.stages[0].bytes_in == 64 * 256
+        assert all(s.bytes_in == 0 for s in g.stages[1:])
+
+    def test_too_small(self):
+        with pytest.raises(PipelineError):
+            merkle_graph(1)
+
+
+class TestSumcheckGraph:
+    def test_round_count(self):
+        g = sumcheck_graph(10)
+        assert len(g.stages) == 10
+
+    def test_entry_reads_per_round(self):
+        g = sumcheck_graph(4)
+        assert [s.work_units for s in g.stages] == [16, 8, 4, 2]
+
+    def test_instances_scale_work(self):
+        g1 = sumcheck_graph(6, instances=1)
+        g3 = sumcheck_graph(6, instances=3)
+        assert sum(s.work_units for s in g3.stages) == 3 * sum(
+            s.work_units for s in g1.stages
+        )
+
+    def test_table_loads_once(self):
+        g = sumcheck_graph(6)
+        assert g.stages[0].bytes_in == 32 * 64
+        assert all(s.bytes_in == 0 for s in g.stages[1:])
+
+    def test_invalid_vars(self):
+        with pytest.raises(PipelineError):
+            sumcheck_graph(0)
+
+
+class TestEncoderGraph:
+    def test_stage_sizes_match_encoder(self):
+        """The analytic stage sizes must mirror SpielmanEncoder's build."""
+        from repro.field import DEFAULT_FIELD
+        from repro.encoder import SpielmanEncoder
+
+        n = 1000
+        enc = SpielmanEncoder(DEFAULT_FIELD, n, seed=0)
+        sizes = encoder_stage_sizes(n)
+        forward = [s for s in sizes if s["kind"] == "forward"]
+        assert len(forward) == enc.num_stages
+        for spec, stage in zip(forward, enc.stages):
+            assert spec["in"] == stage.message_length
+            assert spec["out"] == stage.shrunk_length
+
+    def test_pipeline_order(self):
+        sizes = encoder_stage_sizes(1 << 10)
+        kinds = [s["kind"] for s in sizes]
+        base_idx = kinds.index("base")
+        assert all(k == "forward" for k in kinds[:base_idx])
+        assert all(k == "backward" for k in kinds[base_idx + 1 :])
+
+    def test_total_work_is_linear(self):
+        """O(N) encoder: MAC count within a small constant of N."""
+        for lg in (10, 14, 18):
+            g = encoder_graph(1 << lg)
+            macs = sum(s.work_units for s in g.stages)
+            assert macs < 20 * (1 << lg)
+
+    def test_codeword_leaves_last_stage(self):
+        g = encoder_graph(1 << 10)
+        assert g.stages[-1].bytes_out == 32 * 2 * (1 << 10)
+        assert all(s.bytes_out == 0 for s in g.stages[:-1])
+
+    def test_invalid_message(self):
+        with pytest.raises(PipelineError):
+            encoder_graph(0)
+
+
+class TestPaperClaims:
+    """Simulator-level reproduction of the paper's qualitative claims."""
+
+    def test_pipelined_beats_naive_all_modules(self):
+        """Tables 3-5: ours > GPU baseline > CPU baseline, every size."""
+        for lg in (14, 16, 18):
+            for graph, penalty in (
+                (merkle_graph(1 << lg, COSTS), COSTS.naive_merkle_penalty),
+                (sumcheck_graph(lg, COSTS), COSTS.naive_sumcheck_penalty),
+                (encoder_graph(1 << lg, COSTS), COSTS.naive_encoder_penalty),
+            ):
+                ours = run_pipelined(GH200, graph, 32, include_transfers=False)
+                base = run_naive(GH200, graph, 32, compute_penalty=penalty)
+                cpu = run_cpu(CPU_C5A_8XLARGE, graph, 4)
+                assert (
+                    ours.steady_throughput_per_second
+                    > base.steady_throughput_per_second
+                    > cpu.steady_throughput_per_second
+                )
+
+    def test_speedup_grows_as_size_shrinks(self):
+        """Tables 3-4: the pipelined advantage widens for small inputs."""
+        speedups = []
+        for lg in (22, 18):
+            g = merkle_graph(1 << lg, COSTS)
+            ours = run_pipelined(GH200, g, 32, include_transfers=False)
+            simon = run_naive(
+                GH200, g, 32, compute_penalty=COSTS.naive_merkle_penalty
+            )
+            speedups.append(
+                ours.steady_throughput_per_second
+                / simon.steady_throughput_per_second
+            )
+        assert speedups[1] > speedups[0]
+
+    def test_dynamic_memory_beats_preload(self):
+        """§3.1: pipelined resident set is a single task's ≈2N blocks."""
+        g = merkle_graph(1 << 14, COSTS)
+        pipe = run_pipelined(GH200, g, 64, include_transfers=False)
+        naive = run_naive(GH200, g, 64)
+        assert pipe.memory_high_water_bytes <= naive.memory_high_water_bytes
+
+
+class TestSystem:
+    def test_graph_composition(self):
+        graphs = build_module_graphs(1 << 14)
+        g = zkp_system_graph(1 << 14)
+        assert len(g.stages) == sum(len(m.stages) for m in graphs.values())
+
+    def test_comm_bytes_calibration(self):
+        """Table 9: 320 B/gate of beat traffic."""
+        scale = 1 << 14
+        g = zkp_system_graph(scale)
+        total = g.total_bytes_in() + g.total_bytes_out()
+        assert total == pytest.approx(320 * scale, rel=0.02)
+
+    def test_scale_floor(self):
+        with pytest.raises(PipelineError):
+            build_module_graphs(100)
+
+    def test_system_result_fields(self):
+        system = BatchZkpSystem("GH200", scale=1 << 14)
+        res = system.simulate(batch_size=64)
+        assert res.scale == 1 << 14
+        assert res.throughput_per_second > 0
+        assert res.latency_seconds > res.sim.beat.overall_seconds
+        assert set(res.module_amortized_seconds) == {
+            "encoder",
+            "merkle",
+            "sumcheck",
+        }
+
+    def test_module_breakdown_sums_to_beat(self):
+        system = BatchZkpSystem("GH200", scale=1 << 16)
+        res = system.simulate(batch_size=64)
+        total = sum(res.module_amortized_seconds.values())
+        # Breakdown is the ideal work split; the realized beat is >= it but
+        # close (allocator quantization + sync overhead).
+        assert total <= res.sim.beat.comp_seconds * 1.1
+        assert total >= res.sim.beat.comp_seconds * 0.7
+
+    def test_sumcheck_dominates_breakdown(self):
+        """Table 7: sum-check is the largest module; Merkle the smallest."""
+        res = BatchZkpSystem("GH200", scale=1 << 16).simulate(batch_size=32)
+        bd = res.module_amortized_seconds
+        assert bd["sumcheck"] > bd["encoder"] > bd["merkle"]
+
+    def test_thread_allocation_module_ratio(self):
+        """§4: module thread shares follow the work ratio (sum-check gets
+        the most, Merkle the least)."""
+        system = BatchZkpSystem("V100", scale=1 << 20, total_threads=10240)
+        alloc = system.thread_allocation()
+        assert sum(alloc.values()) == 10240
+        assert alloc["sumcheck"] > alloc["encoder"] > alloc["merkle"]
+
+    def test_throughput_scales_across_devices(self):
+        """Table 8: more capable devices give higher throughput."""
+        results = {
+            dev: BatchZkpSystem(dev, scale=1 << 16).simulate(64)
+            for dev in ("V100", "A100", "H100")
+        }
+        assert (
+            results["H100"].sim.steady_throughput_per_second
+            > results["A100"].sim.steady_throughput_per_second
+            > results["V100"].sim.steady_throughput_per_second
+        )
+
+    def test_multi_stream_helps(self):
+        """Table 9: overlap reduces the beat versus serialized transfers."""
+        system = BatchZkpSystem("V100", scale=1 << 20)
+        with_streams = system.simulate(batch_size=32, multi_stream=True)
+        without = system.simulate(batch_size=32, multi_stream=False)
+        assert (
+            with_streams.sim.beat.overall_seconds
+            < without.sim.beat.overall_seconds
+        )
+
+    def test_memory_linear_in_scale(self):
+        small = BatchZkpSystem("GH200", scale=1 << 16).simulate(8)
+        large = BatchZkpSystem("GH200", scale=1 << 18).simulate(8)
+        ratio = (
+            large.sim.memory_high_water_bytes / small.sim.memory_high_water_bytes
+        )
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_memory_far_below_bellperson(self):
+        """Table 10: ours uses ~10x less device memory per proof."""
+        from repro.baselines import bellperson_memory_gb
+
+        res = BatchZkpSystem("GH200", scale=1 << 20).simulate(8)
+        assert res.memory_high_water_gb < bellperson_memory_gb(1 << 20) / 3

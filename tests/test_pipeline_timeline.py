@@ -1,0 +1,89 @@
+"""Pipeline-timeline tests: the Figure 4b schedule as executable spec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    busy_stage_counts,
+    occupancy_by_beat,
+    pipeline_timeline,
+    render_gantt,
+    steady_state_beats,
+    validate_timeline,
+)
+
+
+class TestTimeline:
+    def test_total_cells(self):
+        cells = list(pipeline_timeline(num_stages=3, batch_size=5))
+        assert len(cells) == 3 * 5  # every task visits every stage once
+
+    def test_task_path(self):
+        cells = [
+            (o.beat, o.stage)
+            for o in pipeline_timeline(3, 5)
+            if o.task == 2
+        ]
+        assert cells == [(2, 0), (3, 1), (4, 2)]
+
+    def test_invalid_args(self):
+        with pytest.raises(PipelineError):
+            list(pipeline_timeline(0, 1))
+        with pytest.raises(PipelineError):
+            list(pipeline_timeline(1, 0))
+
+    @given(
+        stages=st.integers(min_value=1, max_value=12),
+        batch=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_all_invariants(self, stages, batch):
+        checks = validate_timeline(stages, batch)
+        assert all(checks.values()), checks
+
+    def test_busy_profile_shape(self):
+        """Ramp up, plateau, drain — the Figure 4b envelope."""
+        counts = busy_stage_counts(num_stages=4, batch_size=10)
+        assert counts[:4] == [1, 2, 3, 4]  # fill
+        assert counts[-3:] == [3, 2, 1]  # drain
+        assert counts.count(4) == steady_state_beats(4, 10) == 7
+
+    def test_small_batch_never_fills(self):
+        counts = busy_stage_counts(num_stages=8, batch_size=3)
+        assert max(counts) == 3
+        assert steady_state_beats(8, 3) == 0
+
+    def test_occupancy_grid_total(self):
+        grid = occupancy_by_beat(5, 7)
+        assert sum(len(cells) for cells in grid) == 35
+        assert len(grid) == 7 + 5 - 1
+
+
+class TestGantt:
+    def test_renders_diagonals(self):
+        art = render_gantt(num_stages=3, batch_size=4)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        # Task 0 runs down the main diagonal.
+        assert lines[0][len("stage  0 |")] == "0"
+        assert lines[1][len("stage  0 |") + 1] == "0"
+        assert lines[2][len("stage  0 |") + 2] == "0"
+
+    def test_width_guard(self):
+        with pytest.raises(PipelineError):
+            render_gantt(num_stages=50, batch_size=50)
+
+    def test_matches_sim_beat_count(self):
+        """Render and the analytic simulator agree on total beats."""
+        from repro.gpu import get_gpu, run_pipelined
+        from repro.pipeline import merkle_graph
+
+        graph = merkle_graph(1 << 8)
+        stages = len(graph.stages)
+        res = run_pipelined(get_gpu("V100"), graph, 16, include_transfers=False)
+        grid = occupancy_by_beat(stages, 16)
+        assert res.total_seconds == pytest.approx(
+            len(grid) * res.steady_interval_seconds, rel=1e-9
+        )

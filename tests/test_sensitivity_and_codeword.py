@@ -1,0 +1,86 @@
+"""Sensitivity-analysis unit tests and codeword validation."""
+
+import pytest
+
+from repro.bench import SensitivityPoint, sensitivity_sweep, summarize
+from repro.encoder import EncoderParams, SpielmanEncoder
+from repro.field import DEFAULT_FIELD
+
+F = DEFAULT_FIELD
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # A reduced grid keeps the unit test fast; the bench runs the full one.
+        return sensitivity_sweep(factors=(0.5, 1.0, 2.0))
+
+    def test_grid_shape(self, points):
+        assert len(points) == 3 * 5  # 3 factors x 5 fields
+
+    def test_all_claims_hold(self, points):
+        summary = summarize(points)
+        assert summary["all_claims_hold"], summary["violations"]
+
+    def test_identity_factor_matches_default(self, points):
+        """factor=1.0 rows must agree with each other (same model)."""
+        base = [p for p in points if p.factor == 1.0]
+        first = base[0]
+        for p in base[1:]:
+            assert p.system_speedup_vs_bellperson == pytest.approx(
+                first.system_speedup_vs_bellperson
+            )
+
+    def test_claims_hold_property(self):
+        good = SensitivityPoint("x", 1.0, 10.0, 2.0, 300.0)
+        assert good.claims_hold
+        bad = SensitivityPoint("x", 1.0, 1.5, 2.0, 300.0)  # trend inverted
+        assert not bad.claims_hold
+
+    def test_launch_overhead_drives_small_size_gap(self, points):
+        """Scaling kernel-launch cost up widens the small-module speedup
+        (the baseline pays per-stage launches; the pipeline does not)."""
+        launch = {
+            p.factor: p.module_speedup_small
+            for p in points
+            if p.field_name == "kernel_launch_seconds"
+        }
+        assert launch[2.0] > launch[0.5]
+
+
+class TestCodewordValidation:
+    @pytest.fixture(scope="class")
+    def encoder(self):
+        return SpielmanEncoder(F, 256, seed=6)
+
+    def test_valid_codeword_accepted(self, encoder, rng):
+        msg = F.rand_vector(256, rng)
+        assert encoder.is_codeword(encoder.encode(msg))
+
+    def test_corrupted_parity_rejected(self, encoder, rng):
+        cw = encoder.encode(F.rand_vector(256, rng))
+        cw[-1] = (cw[-1] + 1) % F.modulus
+        assert not encoder.is_codeword(cw)
+
+    def test_corrupted_message_symbol_rejected(self, encoder, rng):
+        """Flipping a message symbol invalidates the parity section."""
+        cw = encoder.encode(F.rand_vector(256, rng))
+        cw[3] = (cw[3] + 1) % F.modulus
+        assert not encoder.is_codeword(cw)
+
+    def test_wrong_length_rejected(self, encoder):
+        assert not encoder.is_codeword([0] * 100)
+
+    def test_zero_codeword_valid(self, encoder):
+        assert encoder.is_codeword([0] * encoder.codeword_length)
+
+    def test_higher_inverse_rate(self, rng):
+        """inv_rate=4 codes encode and validate too (rate 1/4)."""
+        enc = SpielmanEncoder(
+            F, 128, params=EncoderParams(inv_rate=4, alpha=0.25), seed=1
+        )
+        msg = F.rand_vector(128, rng)
+        cw = enc.encode(msg)
+        assert len(cw) == 4 * 128
+        assert cw[:128] == msg
+        assert enc.is_codeword(cw)

@@ -1,0 +1,147 @@
+"""Non-interactive (Fiat–Shamir) sum-check and the Figure 5 buffers."""
+
+import pytest
+
+from repro.errors import SumcheckError
+from repro.field import DEFAULT_FIELD, MultilinearPolynomial
+from repro.hashing import Transcript
+from repro.sumcheck import (
+    DoubleBuffer,
+    StrideBuffer,
+    evaluation_point,
+    prove,
+    prove_product,
+    required_capacity,
+    verify,
+)
+
+F = DEFAULT_FIELD
+
+
+class TestNonInteractive:
+    def test_roundtrip_multilinear(self, rng):
+        ml = MultilinearPolynomial.random(F, 5, rng)
+        res = prove(F, ml.evals, Transcript(b"x"))
+        challenges = verify(F, res.proof, Transcript(b"x"))
+        assert challenges == res.challenges
+        assert ml.evaluate(evaluation_point(challenges)) == res.proof.final_value
+
+    def test_roundtrip_product(self, rng):
+        a = MultilinearPolynomial.random(F, 4, rng)
+        b = MultilinearPolynomial.random(F, 4, rng)
+        res = prove_product(F, [a.evals, b.evals], Transcript(b"y"))
+        challenges = verify(F, res.proof, Transcript(b"y"))
+        pt = evaluation_point(challenges)
+        assert (a.evaluate(pt) * b.evaluate(pt)) % F.modulus == res.proof.final_value
+
+    def test_transcript_label_mismatch_fails(self, rng):
+        ml = MultilinearPolynomial.random(F, 4, rng)
+        res = prove(F, ml.evals, Transcript(b"x"))
+        with pytest.raises(SumcheckError):
+            verify(F, res.proof, Transcript(b"different"))
+
+    def test_tampered_final_value_fails(self, rng):
+        import dataclasses
+
+        ml = MultilinearPolynomial.random(F, 4, rng)
+        res = prove(F, ml.evals, Transcript(b"x"))
+        bad = dataclasses.replace(
+            res.proof, final_value=(res.proof.final_value + 1) % F.modulus
+        )
+        with pytest.raises(SumcheckError):
+            verify(F, bad, Transcript(b"x"))
+
+    def test_tampered_claimed_sum_fails(self, rng):
+        import dataclasses
+
+        ml = MultilinearPolynomial.random(F, 4, rng)
+        res = prove(F, ml.evals, Transcript(b"x"))
+        bad = dataclasses.replace(
+            res.proof, claimed_sum=(res.proof.claimed_sum + 1) % F.modulus
+        )
+        with pytest.raises(SumcheckError):
+            verify(F, bad, Transcript(b"x"))
+
+    def test_proof_size_accounting(self, rng):
+        ml = MultilinearPolynomial.random(F, 5, rng)
+        res = prove(F, ml.evals, Transcript(b"x"))
+        assert res.proof.size_field_elements() == 2 + 5 * 2
+        assert res.proof.num_rounds == 5
+
+    def test_challenges_bind_round_messages(self, rng):
+        """Different polynomials => different FS challenges."""
+        a = MultilinearPolynomial.random(F, 4, rng)
+        b = MultilinearPolynomial.random(F, 4, rng)
+        ra = prove(F, a.evals, Transcript(b"x"))
+        rb = prove(F, b.evals, Transcript(b"x"))
+        assert ra.challenges != rb.challenges
+
+
+class TestDoubleBuffer:
+    def test_write_read_alternates(self):
+        db = DoubleBuffer(capacity=1024)
+        assert DoubleBuffer.write_buffer_index(0) == 0
+        assert DoubleBuffer.write_buffer_index(1) == 1
+        assert DoubleBuffer.read_buffer_index(1) == 0
+
+    def test_written_becomes_readable_next_period(self):
+        db = DoubleBuffer(capacity=1024)
+        region = db.allocate(period=0, length=100)
+        db.begin_period(1)
+        readable = db.read_regions(1)
+        assert readable == [region]
+
+    def test_no_hazards_in_steady_pipeline(self):
+        """Figure 5's invariant: no same-period read/write overlap, ever."""
+        db = DoubleBuffer(capacity=required_capacity(256))
+        db.allocate(period=0, length=256)
+        for period in range(1, 20):
+            db.begin_period(period)
+            db.read_regions(period)
+            # Every live pipeline stage writes its folded (half-size)
+            # output table this period.
+            size = 128
+            while size >= 1:
+                db.allocate(period, size)
+                size //= 2
+        assert db.hazard_pairs() == []
+
+    def test_stride_buffer_shows_hazards(self):
+        """The rejected layout of Figure 5 does overlap."""
+        sb = StrideBuffer(capacity=256)
+        r1 = sb.allocate(period=0, length=200)
+        sb.read(1, r1)
+        sb.allocate(period=1, length=200)  # wraps into r1's region
+        assert sb.hazard_pairs() != []
+
+    def test_overflow_raises(self):
+        db = DoubleBuffer(capacity=100)
+        with pytest.raises(SumcheckError):
+            db.allocate(period=0, length=101)
+
+    def test_period_monotonicity(self):
+        db = DoubleBuffer(capacity=100)
+        db.begin_period(1)
+        with pytest.raises(SumcheckError):
+            db.begin_period(0)
+
+    def test_wrong_period_allocation(self):
+        db = DoubleBuffer(capacity=100)
+        with pytest.raises(SumcheckError):
+            db.allocate(period=5, length=10)
+
+    def test_required_capacity_bounds(self):
+        assert required_capacity(256) >= 256
+        with pytest.raises(SumcheckError):
+            required_capacity(0)
+
+    def test_region_overlap_logic(self):
+        from repro.sumcheck import BufferRegion
+
+        a = BufferRegion(0, 0, 10)
+        b = BufferRegion(0, 5, 10)
+        c = BufferRegion(0, 10, 10)
+        d = BufferRegion(1, 0, 10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert not a.overlaps(d)
