@@ -1,0 +1,144 @@
+"""Parallel proving runtime: scaling vs serial, and crash recovery.
+
+Not a paper table: the paper fills a GPU's SMs with a pipelined kernel
+schedule; :mod:`repro.runtime` fills the host's CPU cores with real proof
+generation.  This benchmark measures the functional half's scaling — a
+4-worker pool over ≥ 32 tasks should land well above 2× the serial
+`prove_all` throughput on a ≥ 4-core machine — and demonstrates that an
+injected worker crash mid-batch still yields a complete, verifying proof
+set via the retry path.
+
+Run directly for a report:  PYTHONPATH=src python benchmarks/bench_parallel_runtime.py
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import (
+    BatchProver,
+    ProofTask,
+    SnarkProver,
+    make_pcs,
+    random_circuit,
+    verify_all,
+)
+from repro.field import DEFAULT_FIELD
+from repro.runtime import ParallelProvingRuntime, ProverSpec
+
+#: Sized so each proof takes ~20 ms: pool startup (~0.1 s) then amortizes
+#: far below the measured speedup on a >= 4-core host.
+GATES = 384
+TASKS = 48
+WORKERS = 4
+
+
+def _setup(gates: int = GATES, tasks: int = TASKS):
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=5)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    task_list = [
+        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
+    ]
+    return prover, task_list
+
+
+def crash_first_attempts(task_id: int, attempt: int) -> None:
+    """Injected fault: tasks 3 and 17 die on their first attempt."""
+    if task_id in (3, 17) and attempt == 1:
+        raise RuntimeError(f"injected worker crash on task {task_id}")
+
+
+def run_scaling(tasks: int = TASKS, workers: int = WORKERS) -> dict:
+    """Serial vs pooled throughput on the same batch."""
+    prover, task_list = _setup(tasks=tasks)
+    spec = ProverSpec.from_prover(prover)
+
+    serial_start = time.perf_counter()
+    serial_proofs, serial_stats = BatchProver(prover).prove_all(task_list)
+    serial_seconds = time.perf_counter() - serial_start
+
+    runtime = ParallelProvingRuntime(spec, workers=workers, chunk_size=2)
+    parallel_start = time.perf_counter()
+    parallel_proofs, parallel_stats = runtime.prove_tasks(task_list)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    verifier = spec.build_verifier()
+    assert verify_all(verifier, serial_proofs, task_list)
+    assert verify_all(verifier, parallel_proofs, task_list)
+    return {
+        "tasks": tasks,
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "serial_throughput": serial_stats.throughput_per_second,
+        "parallel_seconds": parallel_seconds,
+        "parallel_throughput": parallel_stats.throughput_per_second,
+        "speedup": serial_seconds / parallel_seconds,
+        "utilization": parallel_stats.worker_utilization,
+        "p95_latency_ms": parallel_stats.p95_latency_seconds * 1e3,
+    }
+
+
+def run_crash_recovery(tasks: int = TASKS, workers: int = WORKERS) -> dict:
+    """A crashing worker mid-batch must not cost any proofs."""
+    prover, task_list = _setup(tasks=tasks)
+    spec = ProverSpec.from_prover(prover)
+    runtime = ParallelProvingRuntime(
+        spec, workers=workers, fault_injector=crash_first_attempts
+    )
+    proofs, stats = runtime.prove_tasks(task_list)
+    complete = len(proofs) == len(task_list)
+    verified = verify_all(spec.build_verifier(), proofs, task_list)
+    return {
+        "complete": complete,
+        "verified": verified,
+        "retries": stats.retries,
+        "throughput": stats.throughput_per_second,
+    }
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="scaling run needs >= 4 cores"
+)
+def test_bench_parallel_speedup(show):
+    """E14 companion: >= 2x over serial with 4 workers on >= 32 tasks."""
+    row = run_scaling()
+    show(
+        f"parallel runtime: {row['workers']} workers, {row['tasks']} tasks — "
+        f"serial {row['serial_throughput']:.2f} p/s, "
+        f"parallel {row['parallel_throughput']:.2f} p/s, "
+        f"speedup {row['speedup']:.2f}x, "
+        f"utilization {row['utilization'] * 100:.0f}%"
+    )
+    assert row["speedup"] >= 2.0
+
+
+def test_bench_crash_recovery(show):
+    """An injected mid-batch worker crash is absorbed by the retry path."""
+    row = run_crash_recovery(tasks=8, workers=min(WORKERS, os.cpu_count() or 1))
+    show(
+        f"crash recovery: retries={row['retries']}, "
+        f"complete={row['complete']}, verified={row['verified']}"
+    )
+    assert row["complete"] and row["verified"]
+    assert row["retries"] >= 1
+
+
+if __name__ == "__main__":
+    cores = os.cpu_count() or 1
+    print(f"host cores: {cores}")
+    workers = min(WORKERS, cores)
+    row = run_scaling(workers=workers)
+    print(
+        f"[scaling]   {row['tasks']} tasks | serial "
+        f"{row['serial_throughput']:6.2f} p/s | {row['workers']} workers "
+        f"{row['parallel_throughput']:6.2f} p/s | speedup {row['speedup']:.2f}x "
+        f"| utilization {row['utilization'] * 100:.0f}% "
+        f"| p95 {row['p95_latency_ms']:.0f} ms"
+    )
+    rec = run_crash_recovery(workers=workers)
+    print(
+        f"[recovery]  injected crashes -> retries={rec['retries']}, "
+        f"complete={rec['complete']}, all proofs verify={rec['verified']}"
+    )

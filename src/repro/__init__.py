@@ -19,6 +19,7 @@ Subpackages (see DESIGN.md for the full inventory):
 ``core``        circuits, R1CS, the SNARK, batch proving
 ``gpu``         device catalog, cost models, the cycle simulator
 ``pipeline``    module stage graphs, the Figure 7 system
+``runtime``     process-pool parallel proving with retries + metrics
 ``baselines``   NTT, MSM, Groth-like prover, vendor models
 ``zkml``        quantized CNNs, VGG-16, the MLaaS service
 ``bench``       table/figure regeneration runners

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig9                  # utilization traces
     python -m repro all                   # everything
     python -m repro breakdown             # §6.3 speedup decomposition
+    python -m repro prove --workers 4     # real proofs on the parallel runtime
 """
 
 from __future__ import annotations
@@ -70,6 +71,45 @@ def _print_breakdown() -> None:
     print(f"  total vs Bellperson:  {bd['total_speedup_vs_bellperson']:.1f}x")
 
 
+def _run_prove(args) -> int:
+    """Generate a real proof batch on the parallel runtime and report."""
+    from .core import (
+        ProofTask,
+        SnarkProver,
+        make_pcs,
+        random_circuit,
+        verify_all,
+    )
+    from .field import DEFAULT_FIELD
+    from .runtime import JsonlTraceSink, ParallelProvingRuntime, ProverSpec
+
+    cc = random_circuit(DEFAULT_FIELD, args.gates, seed=1)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=8)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    tasks = [
+        ProofTask(i, cc.witness, cc.public_values) for i in range(args.tasks)
+    ]
+    trace = JsonlTraceSink(args.trace) if args.trace else None
+    runtime = ParallelProvingRuntime(
+        ProverSpec.from_prover(prover), workers=args.workers, trace=trace
+    )
+    print(
+        f"Proving {args.tasks} tasks at S = {args.gates} gates with "
+        f"{runtime.workers} worker(s)…"
+    )
+    try:
+        proofs, stats = runtime.prove_tasks(tasks)
+    finally:
+        if trace is not None:
+            trace.close()
+    print(stats.report())
+    ok = verify_all(ProverSpec.from_prover(prover).build_verifier(), proofs, tasks)
+    print(f"all proofs verify: {ok}")
+    if args.trace:
+        print(f"trace events written to {args.trace}")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -77,7 +117,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(TABLES) + ["fig9", "breakdown", "all", "list", "apidoc"],
+        choices=sorted(TABLES)
+        + ["fig9", "breakdown", "all", "list", "apidoc", "prove"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -85,7 +126,40 @@ def main(argv=None) -> int:
         default=None,
         help="GPU to simulate where applicable (default: GH200)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for `prove` (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--tasks",
+        type=int,
+        default=8,
+        help="batch size for `prove` (default 8)",
+    )
+    parser.add_argument(
+        "--gates",
+        type=int,
+        default=96,
+        help="circuit scale (multiplication gates) for `prove` (default 96)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="JSONL trace-event sink for `prove`",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "prove":
+        from .errors import ProofError
+
+        try:
+            return _run_prove(args)
+        except (ProofError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.experiment == "apidoc":
         from .bench.apidoc import write_api_markdown

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..core.batch import ProofTask
 from ..core.circuit import CircuitBuilder, CompiledCircuit, compile_builder
 from ..core.prover import SnarkProver, make_pcs
 from ..core.verifier import SnarkVerifier
@@ -33,6 +34,10 @@ from ..gpu.simulator import run_naive
 from ..hashing.mimc import MimcPermutation, mimc_circuit_encrypt
 from ..pipeline.multigpu import MultiGpuBatchSystem
 from ..pipeline.system import BatchZkpSystem, zkp_system_graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.proof import SnarkProof
+    from ..runtime import ParallelProvingRuntime, RuntimeStats
 
 #: Circuit scale of one cross-chain transaction proof.  zkBridge proves
 #: block-header validity (signature batches); 2^18 gates is the order of
@@ -84,6 +89,9 @@ class BridgeProver:
     def __init__(self, field: PrimeField = DEFAULT_FIELD, rounds: int = 6):
         self.field = field
         self.perm = MimcPermutation(field, rounds=rounds)
+        #: :class:`~repro.runtime.RuntimeStats` of the most recent
+        #: :meth:`prove_batch` run (None before the first batch).
+        self.last_runtime_stats: Optional["RuntimeStats"] = None
 
     def _build_circuit(self, tx: Transaction) -> CompiledCircuit:
         from ..hashing.mimc import MimcSponge
@@ -125,6 +133,59 @@ class BridgeProver:
         )
         proof = prover.prove(compiled.witness, compiled.public_values)
         return compiled, proof
+
+    def prove_batch(
+        self,
+        txs: Sequence[Transaction],
+        workers: int = 1,
+        runtime: Optional["ParallelProvingRuntime"] = None,
+    ) -> List[Tuple[CompiledCircuit, "SnarkProof"]]:
+        """Prove a stream of transactions, optionally across worker processes.
+
+        Every transaction compiles to the same circuit *structure* (only
+        the witness differs), so the batch shares one prover setup per
+        worker and shards the witnesses across the process-pool runtime —
+        the §2.1 economics in functional form: more proofs per unit time,
+        more handling fees.  A structurally divergent circuit (which a
+        well-formed transaction cannot produce) degrades the batch to
+        serial per-transaction proving.  The runtime's report lands in
+        :attr:`last_runtime_stats`.
+        """
+        from ..runtime import ParallelProvingRuntime, ProverSpec
+
+        for tx in txs:
+            if tx.amount % self.field.modulus == 0:
+                raise ProofError("zero-amount transactions are invalid")
+        circuits = [self._build_circuit(tx) for tx in txs]
+        if not circuits:
+            return []
+        for tx, compiled in zip(txs, circuits):
+            if compiled.public_values[0] != tx.commitment(self.field, self.perm):
+                raise ProofError("in-circuit commitment diverged from native")
+        reference_digest = circuits[0].r1cs.digest()
+        uniform = all(
+            c.r1cs.digest() == reference_digest for c in circuits[1:]
+        )
+        if not uniform:
+            return [self.prove(tx) for tx in txs]
+        if runtime is None:
+            spec = ProverSpec(
+                r1cs=circuits[0].r1cs,
+                public_indices=tuple(circuits[0].public_indices),
+                num_col_checks=8,
+            )
+            runtime = ParallelProvingRuntime(spec, workers=workers)
+        tasks = [
+            ProofTask(
+                task_id=i,
+                witness=compiled.witness,
+                public_values=compiled.public_values,
+            )
+            for i, compiled in enumerate(circuits)
+        ]
+        proofs, stats = runtime.prove_tasks(tasks)
+        self.last_runtime_stats = stats
+        return list(zip(circuits, proofs))
 
     def verify(self, compiled: CompiledCircuit, proof, commitment: int, amount: int) -> bool:
         pcs = make_pcs(self.field, compiled.r1cs, num_col_checks=8)

@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.gkr",
     "repro.gpu",
     "repro.pipeline",
+    "repro.runtime",
     "repro.baselines",
     "repro.zkml",
     "repro.apps",

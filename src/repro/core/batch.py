@@ -7,18 +7,34 @@ of that pipeline: it accepts tasks, generates proofs for all of them on a
 fixed R1CS instance, and reports throughput statistics.  The GPU pipeline
 *simulation* of the same workload lives in :mod:`repro.pipeline`; this
 class produces the actual, verifiable proofs.
+
+Statistics lifecycle: ``BatchProver.stats`` is created once and never
+rebound, so references held by callers stay live; every run
+(:meth:`~BatchProver.prove_all` or :meth:`~BatchProver.prove_stream`)
+begins by resetting it in place, so each run's numbers are fresh rather
+than merged with the previous run's.  :meth:`~BatchProver.prove_all`
+returns an immutable-by-convention *snapshot* that later runs do not
+touch.
+
+With ``workers > 1`` the batch is delegated to the process-pool
+:class:`~repro.runtime.ParallelProvingRuntime`, which shards tasks across
+CPU cores; the richer per-run report (percentile latencies, retries,
+utilization) then lands in :attr:`BatchProver.last_runtime_stats`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ProofError
 from .proof import SnarkProof
 from .prover import SnarkProver
 from .verifier import SnarkVerifier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..runtime.stats import RuntimeStats
 
 
 @dataclass(frozen=True)
@@ -50,6 +66,20 @@ class BatchStats:
             return 0.0
         return self.total_seconds / self.proofs_generated
 
+    def reset(self) -> None:
+        """Zero every counter in place (start of a new run)."""
+        self.proofs_generated = 0
+        self.total_seconds = 0.0
+        self.per_proof_seconds.clear()
+
+    def snapshot(self) -> "BatchStats":
+        """An independent copy, frozen at the current values."""
+        return BatchStats(
+            proofs_generated=self.proofs_generated,
+            total_seconds=self.total_seconds,
+            per_proof_seconds=list(self.per_proof_seconds),
+        )
+
 
 class BatchProver:
     """Generates proofs for a stream of tasks on one circuit.
@@ -57,30 +87,79 @@ class BatchProver:
     >>> # doctest-style sketch; see examples/quickstart.py for a real run
     >>> # batch = BatchProver(prover)
     >>> # proofs, stats = batch.prove_all(tasks)
+
+    Args:
+        prover:  The fixed-instance SNARK prover.
+        workers: Default worker count for :meth:`prove_all`; ``1`` proves
+                 inline, ``> 1`` shards across a process pool.
     """
 
-    def __init__(self, prover: SnarkProver):
+    def __init__(self, prover: SnarkProver, workers: int = 1):
         self.prover = prover
+        self.workers = workers
         self.stats = BatchStats()
+        #: The :class:`~repro.runtime.RuntimeStats` of the most recent
+        #: parallel run (None until a ``workers > 1`` batch completes).
+        self.last_runtime_stats: Optional["RuntimeStats"] = None
 
     def prove_all(
-        self, tasks: Sequence[ProofTask]
+        self,
+        tasks: Sequence[ProofTask],
+        workers: Optional[int] = None,
     ) -> Tuple[List[SnarkProof], BatchStats]:
-        """Prove every task; returns the proofs and fresh statistics."""
-        stats = BatchStats()
+        """Prove every task; returns the proofs and this run's statistics.
+
+        ``workers`` overrides the constructor default for this call only.
+        The returned stats object is a snapshot: later runs reset
+        ``self.stats`` in place but never mutate a returned snapshot.
+        """
+        tasks = list(tasks)
+        effective_workers = self.workers if workers is None else workers
+        self.stats.reset()
+        if effective_workers > 1 and len(tasks) > 1:
+            proofs = self._prove_all_parallel(tasks, effective_workers)
+        else:
+            proofs = self._prove_all_serial(tasks)
+        return proofs, self.stats.snapshot()
+
+    def _prove_all_serial(self, tasks: Sequence[ProofTask]) -> List[SnarkProof]:
         proofs: List[SnarkProof] = []
         batch_start = time.perf_counter()
         for task in tasks:
             start = time.perf_counter()
             proofs.append(self.prover.prove(task.witness, task.public_values))
-            stats.per_proof_seconds.append(time.perf_counter() - start)
-        stats.total_seconds = time.perf_counter() - batch_start
-        stats.proofs_generated = len(proofs)
-        self.stats = stats
-        return proofs, stats
+            self.stats.per_proof_seconds.append(time.perf_counter() - start)
+        self.stats.total_seconds = time.perf_counter() - batch_start
+        self.stats.proofs_generated = len(proofs)
+        return proofs
+
+    def _prove_all_parallel(
+        self, tasks: Sequence[ProofTask], workers: int
+    ) -> List[SnarkProof]:
+        from ..runtime import ParallelProvingRuntime, ProverSpec
+
+        runtime = ParallelProvingRuntime(
+            ProverSpec.from_prover(self.prover), workers=workers
+        )
+        proofs, runtime_stats = runtime.prove_tasks(tasks)
+        self.last_runtime_stats = runtime_stats
+        self.stats.proofs_generated = len(proofs)
+        self.stats.total_seconds = runtime_stats.total_seconds
+        self.stats.per_proof_seconds.extend(
+            record.prove_seconds for record in runtime_stats.records
+        )
+        return proofs
 
     def prove_stream(self, tasks: Iterable[ProofTask]) -> Iterator[SnarkProof]:
-        """Lazily prove tasks as they arrive (the MLaaS streaming shape)."""
+        """Lazily prove tasks as they arrive (the MLaaS streaming shape).
+
+        Statistics are reset when iteration begins, so each stream run —
+        like each :meth:`prove_all` run — reports only its own tasks.
+        ``total_seconds`` sums proving time only (the stream may spend
+        arbitrary time waiting for arrivals, which would make wall-clock
+        throughput meaningless).
+        """
+        self.stats.reset()
         for task in tasks:
             start = time.perf_counter()
             proof = self.prover.prove(task.witness, task.public_values)

@@ -26,6 +26,9 @@ class ShardResult:
     device_name: str
     tasks: int
     result: Optional[SystemResult]
+    #: The device's steady-state throughput (proofs/s), recorded even for
+    #: idle shards so efficiency accounting can charge unused capacity.
+    steady_rate: float = 0.0
 
 
 @dataclass
@@ -44,7 +47,16 @@ class MultiGpuResult:
 
     @property
     def ideal_throughput_per_second(self) -> float:
-        """Sum of every device's steady-state throughput."""
+        """Sum of every device's steady-state throughput.
+
+        Devices that received zero tasks still contribute their steady
+        rate: an idle GPU is paid-for capacity, and skipping it would
+        overstate :attr:`scaling_efficiency` exactly when shard rounding
+        idles a device.
+        """
+        if any(s.steady_rate > 0 for s in self.shards):
+            return sum(s.steady_rate for s in self.shards)
+        # Backward compatibility for hand-built results without rates.
         return sum(
             s.result.sim.steady_throughput_per_second
             for s in self.shards
@@ -54,7 +66,7 @@ class MultiGpuResult:
     @property
     def scaling_efficiency(self) -> float:
         """Achieved aggregate throughput over the ideal sum (≤ 1; lost to
-        pipeline fill/drain and shard rounding)."""
+        pipeline fill/drain, shard rounding, and idled devices)."""
         ideal = self.ideal_throughput_per_second
         if ideal <= 0:
             return 0.0
@@ -86,24 +98,45 @@ class MultiGpuBatchSystem:
             BatchZkpSystem(dev, scale=scale, costs=self.costs) for dev in devices
         ]
         self.scale = scale
+        self._rates_cache: Optional[List[float]] = None
 
     def _device_rates(self, batch_probe: int = 64) -> List[float]:
-        """Steady-state throughput of each device's pipeline."""
-        return [
-            system.simulate(batch_size=batch_probe).sim.steady_throughput_per_second
-            for system in self.systems
-        ]
+        """Steady-state throughput of each device's pipeline.
+
+        Rates depend only on (device, scale, costs) — all fixed at
+        construction — so the probe simulation runs once per device and
+        the result is cached for every later ``shard()``/``simulate()``.
+        """
+        if self._rates_cache is None:
+            self._rates_cache = [
+                system.simulate(
+                    batch_size=batch_probe
+                ).sim.steady_throughput_per_second
+                for system in self.systems
+            ]
+        return self._rates_cache
+
+    def device_rates(self) -> List[float]:
+        """Public copy of the cached per-device steady rates (proofs/s)."""
+        return list(self._device_rates())
 
     def shard(self, batch_size: int) -> List[int]:
         """Split a batch proportionally to device throughput.
 
-        Largest-remainder rounding; every extra task goes to the fastest
-        devices so the slowest shard (the critical path) stays short.
+        Largest-remainder rounding: floors first, then each leftover task
+        goes to the device with the largest fractional share (ties broken
+        toward earlier devices), so shares always sum to ``batch_size``
+        and no device is more than one task above its exact proportion.
         """
         if batch_size < 1:
             raise PipelineError("batch_size must be positive")
         rates = self._device_rates()
         total_rate = sum(rates)
+        if total_rate <= 0:
+            # Degenerate cost model (all devices rated zero): fall back to
+            # an even split rather than dividing by zero.
+            rates = [1.0] * len(rates)
+            total_rate = float(len(rates))
         raw = [batch_size * r / total_rate for r in rates]
         shares = [int(x) for x in raw]
         remainder = batch_size - sum(shares)
@@ -119,13 +152,17 @@ class MultiGpuBatchSystem:
     ) -> MultiGpuResult:
         """Run every shard; wall time is the slowest device's shard time."""
         shares = self.shard(batch_size)
+        rates = self._device_rates()
         shards: List[ShardResult] = []
         slowest = 0.0
-        for system, tasks in zip(self.systems, shares):
+        for system, tasks, rate in zip(self.systems, shares, rates):
             if tasks == 0:
                 shards.append(
                     ShardResult(
-                        device_name=system.device.name, tasks=0, result=None
+                        device_name=system.device.name,
+                        tasks=0,
+                        result=None,
+                        steady_rate=rate,
                     )
                 )
                 continue
@@ -133,7 +170,10 @@ class MultiGpuBatchSystem:
             slowest = max(slowest, result.sim.total_seconds)
             shards.append(
                 ShardResult(
-                    device_name=system.device.name, tasks=tasks, result=result
+                    device_name=system.device.name,
+                    tasks=tasks,
+                    result=result,
+                    steady_rate=rate,
                 )
             )
         return MultiGpuResult(

@@ -1,0 +1,26 @@
+"""Parallel proving runtime (system S22 in DESIGN.md).
+
+The functional counterpart of the paper's throughput story for multicore
+CPUs: where :mod:`repro.pipeline` *simulates* a pipelined GPU filling
+every SM, this package actually fills every core of the host with real
+proof generation.  A picklable :class:`ProverSpec` rebuilds the prover
+once per worker process, :class:`ParallelProvingRuntime` shards the task
+stream across the pool with bounded in-flight backpressure, retries, and
+per-task timeouts, and :class:`RuntimeStats` reports the service-level
+numbers (p50/p95/p99 latency, throughput, utilization) an operator of
+the paper's §2.1 proving business would watch.
+"""
+
+from .pool import ParallelProvingRuntime
+from .spec import ProverSpec
+from .stats import RuntimeStats, TaskRecord, percentile
+from .trace import JsonlTraceSink
+
+__all__ = [
+    "ParallelProvingRuntime",
+    "ProverSpec",
+    "RuntimeStats",
+    "TaskRecord",
+    "percentile",
+    "JsonlTraceSink",
+]

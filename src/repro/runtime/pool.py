@@ -1,0 +1,432 @@
+"""Process-pool batch proving engine (S22).
+
+:class:`ParallelProvingRuntime` shards independent :class:`ProofTask`s
+across N worker processes.  Design points, each motivated by the paper's
+service setting (§1, §2.1 — a proving farm billing per proof):
+
+* **Per-worker prover construction** — the picklable
+  :class:`~repro.runtime.spec.ProverSpec` crosses the pipe once per
+  worker; the R1CS/PCS setup (expander generation, digesting) is paid
+  once per worker, not once per task.
+* **Chunked dispatch with a bounded in-flight queue** — tasks travel in
+  chunks of ``chunk_size`` to amortize IPC, and at most ``max_in_flight``
+  chunks are outstanding at any moment, giving backpressure instead of
+  unbounded pickling of a million-task stream.
+* **Robustness** — a failed attempt (worker exception or per-task
+  timeout) is retried with backoff, failed multi-task chunks are split
+  into singleton resubmissions so one poisoned task cannot sink its
+  chunk-mates, and a dead pool degrades gracefully to in-process serial
+  execution.  Retries exhausted surface as a clean
+  :class:`~repro.errors.ProofError`.
+* **Observability** — per-task :class:`TaskRecord`s, queue-depth and
+  utilization counters in :class:`RuntimeStats`, and an optional JSONL
+  trace-event sink.
+
+Fault injection for tests and chaos drills: pass ``fault_injector``, a
+*module-level* (picklable) callable ``(task_id, attempt) -> None`` that
+raises to simulate a worker failure.  It runs in the worker before
+proving, so the retry path is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.batch import ProofTask
+from ..core.proof import SnarkProof
+from ..core.prover import SnarkProver
+from ..errors import ProofError
+from .spec import ProverSpec
+from .stats import RuntimeStats, TaskRecord
+from .trace import JsonlTraceSink
+
+FaultInjector = Callable[[int, int], None]
+
+#: Process-global worker state, populated once by :func:`_init_worker`.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(spec: ProverSpec, fault_injector: Optional[FaultInjector]) -> None:
+    """Pool initializer: build this worker's prover once from the spec."""
+    _WORKER_STATE["prover"] = spec.build_prover()
+    _WORKER_STATE["fault"] = fault_injector
+
+
+def _prove_chunk(
+    chunk: Sequence[Tuple[int, ProofTask, int]]
+) -> List[Tuple[int, SnarkProof, float, int]]:
+    """Worker body: prove every (index, task, attempt) in the chunk.
+
+    Returns ``(index, proof, prove_seconds, worker_pid)`` per task.  Any
+    exception (including an injected fault) propagates to the dispatcher,
+    which retries; a chunk fails as a unit and is split on retry.
+    """
+    prover: SnarkProver = _WORKER_STATE["prover"]
+    fault: Optional[FaultInjector] = _WORKER_STATE.get("fault")
+    out: List[Tuple[int, SnarkProof, float, int]] = []
+    pid = os.getpid()
+    for index, task, attempt in chunk:
+        if fault is not None:
+            fault(task.task_id, attempt)
+        start = time.perf_counter()
+        proof = prover.prove(task.witness, task.public_values)
+        out.append((index, proof, time.perf_counter() - start, pid))
+    return out
+
+
+class _WorkItem:
+    """A pending chunk: input indices plus per-item attempt counts."""
+
+    __slots__ = ("items", "not_before")
+
+    def __init__(self, items: List[Tuple[int, int]], not_before: float = 0.0):
+        self.items = items  # [(task_index, attempt), ...]
+        self.not_before = not_before
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ParallelProvingRuntime:
+    """Shards a batch of proof tasks across a pool of worker processes.
+
+    >>> # sketch; see examples/parallel_proving.py for a real run
+    >>> # runtime = ParallelProvingRuntime(ProverSpec.from_prover(prover), workers=4)
+    >>> # proofs, stats = runtime.prove_tasks(tasks)
+
+    Args:
+        spec:                  Picklable prover recipe (built per worker).
+        workers:               Pool size; ``None`` → ``os.cpu_count()``;
+                               ``1`` proves inline with no pool at all.
+        chunk_size:            Tasks per dispatched chunk (IPC amortization).
+        max_in_flight:         Outstanding-chunk bound (backpressure);
+                               default ``2 × workers``.
+        max_retries:           Extra attempts per task after the first
+                               (so a task runs at most ``1 + max_retries``
+                               times before :class:`ProofError`).
+        retry_backoff_seconds: Base delay before a retry; doubles per
+                               attempt (0.05 → 0.1 → 0.2 …).
+        task_timeout_seconds:  Per-task attempt budget.  In pooled mode an
+                               attempt that outlives ``timeout × chunk_len``
+                               is abandoned and resubmitted (the stale
+                               worker result, if it ever lands, is
+                               discarded).  In serial mode a mid-call
+                               preemption is impossible, so overruns are
+                               only *recorded* in ``stats.timeouts``.
+        trace:                 Optional :class:`JsonlTraceSink`.
+        fault_injector:        Optional picklable ``(task_id, attempt)``
+                               callable that raises to simulate failures.
+    """
+
+    def __init__(
+        self,
+        spec: ProverSpec,
+        workers: Optional[int] = None,
+        *,
+        chunk_size: int = 1,
+        max_in_flight: Optional[int] = None,
+        max_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        task_timeout_seconds: Optional[float] = None,
+        trace: Optional[JsonlTraceSink] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        poll_interval_seconds: float = 0.002,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ProofError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ProofError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise ProofError(f"max_retries must be >= 0, got {max_retries}")
+        self.spec = spec
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.max_in_flight = max_in_flight or 2 * workers
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.task_timeout_seconds = task_timeout_seconds
+        self.trace = trace
+        self.fault_injector = fault_injector
+        self.poll_interval_seconds = poll_interval_seconds
+
+    # -- public API -----------------------------------------------------------
+
+    def prove_tasks(
+        self, tasks: Sequence[ProofTask]
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        """Prove every task; proofs are returned in input order.
+
+        Raises :class:`ProofError` once any task exhausts its retry
+        budget (``1 + max_retries`` attempts, counting timeouts).
+        """
+        tasks = list(tasks)
+        stats = RuntimeStats(workers=self.workers)
+        start = time.perf_counter()
+        self._emit("run_start", tasks=len(tasks), workers=self.workers)
+        try:
+            if self.workers == 1 or len(tasks) <= 1:
+                stats.workers = 1
+                proofs = self._prove_serial(tasks, stats)
+            else:
+                proofs = self._prove_pooled(tasks, stats, start)
+        finally:
+            stats.total_seconds = time.perf_counter() - start
+            self._emit(
+                "run_end",
+                proofs=stats.proofs_generated,
+                retries=stats.retries,
+                seconds=stats.total_seconds,
+            )
+            if self.trace is not None:
+                self.trace.flush()
+        return proofs, stats
+
+    # -- serial path ----------------------------------------------------------
+
+    def _prove_serial(
+        self, tasks: Sequence[ProofTask], stats: RuntimeStats
+    ) -> List[SnarkProof]:
+        """In-process execution: ``workers=1`` or pool-death fallback.
+
+        Honors the same retry/fault semantics as the pooled path so a
+        flaky dependency injected under test behaves identically at
+        either worker count.
+        """
+        prover = self.spec.build_prover()
+        proofs: List[SnarkProof] = []
+        for task in tasks:
+            submitted = time.perf_counter()
+            attempt = 1
+            while True:
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector(task.task_id, attempt)
+                    t0 = time.perf_counter()
+                    proof = prover.prove(task.witness, task.public_values)
+                    prove_seconds = time.perf_counter() - t0
+                    break
+                except Exception as exc:
+                    if attempt > self.max_retries:
+                        raise ProofError(
+                            f"task {task.task_id} failed after {attempt} "
+                            f"attempts: {exc}"
+                        ) from exc
+                    stats.retries += 1
+                    self._emit(
+                        "retry", task_id=task.task_id, attempt=attempt,
+                        reason=repr(exc),
+                    )
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+            if (
+                self.task_timeout_seconds is not None
+                and prove_seconds > self.task_timeout_seconds
+            ):
+                # Serial mode cannot preempt a running prove; record the
+                # overrun so operators still see the budget violation.
+                stats.timeouts += 1
+                self._emit(
+                    "timeout", task_id=task.task_id, seconds=prove_seconds
+                )
+            stats.busy_seconds += prove_seconds
+            stats.records.append(
+                TaskRecord(
+                    task_id=task.task_id,
+                    attempts=attempt,
+                    prove_seconds=prove_seconds,
+                    latency_seconds=time.perf_counter() - submitted,
+                    worker=None,
+                )
+            )
+            self._emit(
+                "complete", task_id=task.task_id, attempt=attempt,
+                seconds=prove_seconds,
+            )
+            proofs.append(proof)
+        return proofs
+
+    # -- pooled path ----------------------------------------------------------
+
+    def _prove_pooled(
+        self,
+        tasks: Sequence[ProofTask],
+        stats: RuntimeStats,
+        run_start: float,
+    ) -> List[SnarkProof]:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context()
+            pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.spec, self.fault_injector),
+            )
+        except (OSError, ValueError) as exc:
+            # Pool could not even start (fd exhaustion, sandboxed env…):
+            # degrade to serial rather than failing the batch.
+            stats.fell_back_to_serial = True
+            stats.workers = 1
+            self._emit("fallback_serial", reason=repr(exc))
+            return self._prove_serial(tasks, stats)
+
+        try:
+            return self._dispatch(pool, tasks, stats)
+        except ProofError:
+            raise
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            # The pool died underneath us mid-run.  Proofs completed before
+            # the crash lived in the dispatcher's local state, so restart
+            # the batch inline with fresh records — the run still completes
+            # and the stats describe the authoritative (serial) attempts.
+            stats.fell_back_to_serial = True
+            stats.workers = 1
+            stats.records.clear()
+            stats.busy_seconds = 0.0
+            self._emit("fallback_serial", reason=repr(exc))
+            return self._prove_serial(tasks, stats)
+        finally:
+            pool.terminate()
+            pool.join()
+
+    def _dispatch(
+        self, pool, tasks: Sequence[ProofTask], stats: RuntimeStats
+    ) -> List[SnarkProof]:
+        """The bounded-in-flight dispatch loop."""
+        ready: deque = deque(
+            _WorkItem(
+                [(i, 1) for i in range(lo, min(lo + self.chunk_size, len(tasks)))]
+            )
+            for lo in range(0, len(tasks), self.chunk_size)
+        )
+        delayed: List[_WorkItem] = []  # backoff parking lot
+        in_flight: Dict[int, Tuple[object, float, _WorkItem, Optional[float]]] = {}
+        submitted_at: Dict[int, float] = {}  # first submission per index
+        results: Dict[int, Tuple[SnarkProof, TaskRecord]] = {}
+        next_handle = 0
+
+        def fail_item(item: _WorkItem, reason: str) -> None:
+            """Retry a failed chunk; multi-task chunks split into singles."""
+            now_ts = time.perf_counter()
+            for index, attempt in item.items:
+                if index in results:
+                    continue
+                if attempt > self.max_retries:
+                    raise ProofError(
+                        f"task {tasks[index].task_id} failed after {attempt} "
+                        f"attempts: {reason}"
+                    )
+                stats.retries += 1
+                self._emit(
+                    "retry", task_id=tasks[index].task_id, attempt=attempt,
+                    reason=reason,
+                )
+                delayed.append(
+                    _WorkItem(
+                        [(index, attempt + 1)],
+                        not_before=now_ts + self._backoff(attempt),
+                    )
+                )
+
+        while len(results) < len(tasks):
+            now = time.perf_counter()
+            # Backoff expiry: move parked retries back into the ready queue.
+            still_delayed = [w for w in delayed if w.not_before > now]
+            for w in delayed:
+                if w.not_before <= now:
+                    ready.append(w)
+            delayed[:] = still_delayed
+
+            # Submit while the in-flight window has room.
+            progressed = False
+            while ready and len(in_flight) < self.max_in_flight:
+                item = ready.popleft()
+                payload = [
+                    (index, tasks[index], attempt)
+                    for index, attempt in item.items
+                ]
+                handle = next_handle
+                next_handle += 1
+                for index, _ in item.items:
+                    submitted_at.setdefault(index, now)
+                deadline = (
+                    now + self.task_timeout_seconds * len(item)
+                    if self.task_timeout_seconds is not None
+                    else None
+                )
+                async_result = pool.apply_async(_prove_chunk, (payload,))
+                in_flight[handle] = (async_result, now, item, deadline)
+                stats.queue_depth_samples.append(len(ready) + len(delayed))
+                self._emit(
+                    "submit",
+                    tasks=[tasks[i].task_id for i, _ in item.items],
+                    attempts=[a for _, a in item.items],
+                )
+                progressed = True
+
+            # Poll outstanding chunks.
+            for handle in list(in_flight):
+                async_result, sub_time, item, deadline = in_flight[handle]
+                if async_result.ready():
+                    del in_flight[handle]
+                    progressed = True
+                    try:
+                        chunk_out = async_result.get()
+                    except Exception as exc:  # worker raised (or died)
+                        if isinstance(exc, (OSError, EOFError)):
+                            raise  # pool infrastructure failure
+                        fail_item(item, repr(exc))
+                        continue
+                    attempts_by_index = dict(item.items)
+                    for index, proof, prove_seconds, pid in chunk_out:
+                        if index in results:
+                            continue  # stale duplicate of a timed-out chunk
+                        record = TaskRecord(
+                            task_id=tasks[index].task_id,
+                            attempts=attempts_by_index.get(index, 1),
+                            prove_seconds=prove_seconds,
+                            latency_seconds=(
+                                time.perf_counter() - submitted_at[index]
+                            ),
+                            worker=pid,
+                        )
+                        results[index] = (proof, record)
+                        stats.busy_seconds += prove_seconds
+                        stats.records.append(record)
+                        self._emit(
+                            "complete", task_id=record.task_id,
+                            attempt=record.attempts, seconds=prove_seconds,
+                            worker=pid,
+                        )
+                elif deadline is not None and now > deadline:
+                    # Abandon the attempt; the occupied worker will finish
+                    # eventually and its late result is discarded above.
+                    del in_flight[handle]
+                    progressed = True
+                    stats.timeouts += 1
+                    self._emit(
+                        "timeout",
+                        tasks=[tasks[i].task_id for i, _ in item.items],
+                        seconds=now - sub_time,
+                    )
+                    fail_item(item, "per-task timeout exceeded")
+
+            if not progressed:
+                time.sleep(self.poll_interval_seconds)
+
+        return [results[i][0] for i in range(len(tasks))]
+
+    # -- helpers --------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff: base × 2^(attempt−1)."""
+        return self.retry_backoff_seconds * (2 ** (attempt - 1))
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(event, **fields)

@@ -1,0 +1,82 @@
+"""Picklable prover construction recipe for worker processes.
+
+A :class:`~repro.core.prover.SnarkProver` carries heavyweight derived
+state (expander graphs, eq tables) that is wasteful to ship over a pipe
+for every task.  :class:`ProverSpec` is the *recipe* instead: plain data
+(the R1CS, PCS knobs, public indices) that crosses the process boundary
+once per worker, after which each worker builds its own prover and pays
+the R1CS/PCS setup exactly once — the same "fix the instance, stream the
+witnesses" discipline the paper's pipeline applies on-device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..commitment.brakedown import DEFAULT_COLUMN_CHECKS, BrakedownPCS
+from ..core.prover import SnarkProver
+from ..core.r1cs import R1CS
+from ..core.verifier import SnarkVerifier
+from ..encoder.spielman import EncoderParams
+from ..hashing.hashers import get_hasher
+
+
+@dataclass(frozen=True)
+class ProverSpec:
+    """Everything needed to rebuild an equivalent prover in another process.
+
+    All fields are plain picklable data; :meth:`build_prover` performs the
+    (per-worker, once) expensive derivation.  Two processes building from
+    the same spec produce byte-identical proofs for the same task because
+    the PCS/encoder are seeded deterministically.
+    """
+
+    r1cs: R1CS
+    public_indices: Tuple[int, ...] = ()
+    pcs_seed: int = 0
+    num_col_checks: int = DEFAULT_COLUMN_CHECKS
+    compress_openings: bool = False
+    row_vars: Optional[int] = None
+    encoder_params: Optional[EncoderParams] = None
+    hasher_name: str = "sha256-hw"
+
+    @classmethod
+    def from_prover(cls, prover: SnarkProver) -> "ProverSpec":
+        """Extract the recipe from a live prover (its PCS params are public)."""
+        params = prover.pcs.params
+        return cls(
+            r1cs=prover.r1cs,
+            public_indices=tuple(prover.public_indices),
+            pcs_seed=params.encoder_seed,
+            num_col_checks=params.num_col_checks,
+            compress_openings=params.compress_openings,
+            row_vars=params.row_vars,
+            encoder_params=params.encoder_params,
+            hasher_name=prover.pcs.hasher.name,
+        )
+
+    def build_pcs(self) -> BrakedownPCS:
+        """Instantiate the PCS (expander generation happens here)."""
+        return BrakedownPCS(
+            self.r1cs.field,
+            num_vars=self.r1cs.witness_vars,
+            row_vars=self.row_vars,
+            encoder_params=self.encoder_params,
+            seed=self.pcs_seed,
+            hasher=get_hasher(self.hasher_name),
+            num_col_checks=self.num_col_checks,
+            compress_openings=self.compress_openings,
+        )
+
+    def build_prover(self) -> SnarkProver:
+        """Instantiate a prover; called once per worker process."""
+        return SnarkProver(
+            self.r1cs, self.build_pcs(), public_indices=list(self.public_indices)
+        )
+
+    def build_verifier(self) -> SnarkVerifier:
+        """Instantiate the matching verifier (same PCS derivation)."""
+        return SnarkVerifier(
+            self.r1cs, self.build_pcs(), public_indices=list(self.public_indices)
+        )

@@ -1,0 +1,154 @@
+"""Observability for the parallel proving runtime (S22).
+
+The paper frames batch proving as a *service*: "service providers need to
+continuously process customer inputs that come in like a flowing stream"
+(§1).  A service needs more than a proofs/second scalar — operators watch
+tail latency, queue depth, and worker utilization.  :class:`RuntimeStats`
+collects a :class:`TaskRecord` per proof and derives those aggregates,
+mirroring what :mod:`repro.pipeline`'s simulator reports for the GPU half
+(throughput, latency, utilization traces) for the *functional* half.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dc_field
+from typing import List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (numpy's default).
+
+    ``q`` is in [0, 100].  An empty sequence yields 0.0 so callers can
+    report on a run that produced no records without special-casing.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    >>> percentile([10], 99)
+    10.0
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Timing record for one successfully proved task."""
+
+    task_id: int
+    #: Total attempts consumed (1 = succeeded on the first try).
+    attempts: int
+    #: In-worker proving time of the winning attempt.
+    prove_seconds: float
+    #: Submission → completion as seen by the dispatcher (includes queueing,
+    #: pickling, and any failed attempts).
+    latency_seconds: float
+    #: OS pid of the worker that produced the proof (None = proved inline).
+    worker: Optional[int] = None
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate report of one :meth:`ParallelProvingRuntime.prove_tasks` run."""
+
+    workers: int = 1
+    records: List[TaskRecord] = dc_field(default_factory=list)
+    #: Wall-clock time of the whole run.
+    total_seconds: float = 0.0
+    #: Resubmissions after a failed attempt (exceptions and timeouts).
+    retries: int = 0
+    #: Attempts abandoned because they outlived the per-task timeout.
+    timeouts: int = 0
+    #: Dispatcher-side samples of how many tasks were waiting for a worker.
+    queue_depth_samples: List[int] = dc_field(default_factory=list)
+    #: Summed in-worker proving seconds across all *successful* attempts.
+    busy_seconds: float = 0.0
+    #: True when the process pool could not be used and the run completed
+    #: on the dispatching process instead.
+    fell_back_to_serial: bool = False
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def proofs_generated(self) -> int:
+        return len(self.records)
+
+    @property
+    def throughput_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.proofs_generated / self.total_seconds
+
+    @property
+    def latencies(self) -> List[float]:
+        """Per-task submission→completion latencies, in record order."""
+        return [r.latency_seconds for r in self.records]
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-th percentile of task latency (seconds)."""
+        return percentile(self.latencies, q)
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker·wall capacity spent proving (≤ 1)."""
+        if self.total_seconds <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.workers * self.total_seconds))
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depth_samples, default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.queue_depth_samples:
+            return 0.0
+        return sum(self.queue_depth_samples) / len(self.queue_depth_samples)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(r.attempts for r in self.records)
+
+    # -- presentation ---------------------------------------------------------
+
+    def report(self) -> str:
+        """A human-readable multi-line summary (the operator's dashboard)."""
+        lines = [
+            f"proofs          : {self.proofs_generated}",
+            f"workers         : {self.workers}"
+            + (" (serial fallback)" if self.fell_back_to_serial else ""),
+            f"wall time       : {self.total_seconds:.3f} s",
+            f"throughput      : {self.throughput_per_second:.2f} proofs/s",
+            f"latency p50     : {self.p50_latency_seconds * 1e3:.1f} ms",
+            f"latency p95     : {self.p95_latency_seconds * 1e3:.1f} ms",
+            f"latency p99     : {self.p99_latency_seconds * 1e3:.1f} ms",
+            f"utilization     : {self.worker_utilization * 100:.0f}%",
+            f"retries         : {self.retries} ({self.timeouts} timeouts)",
+            f"queue depth     : max {self.max_queue_depth}, "
+            f"mean {self.mean_queue_depth:.1f}",
+        ]
+        return "\n".join(lines)

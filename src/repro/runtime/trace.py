@@ -1,0 +1,59 @@
+"""JSONL trace-event sink for the proving runtime.
+
+One JSON object per line, append-only, cheap enough to leave on in
+production: the dispatcher emits lifecycle events (``run_start``,
+``submit``, ``complete``, ``retry``, ``timeout``, ``fallback_serial``,
+``run_end``) that can be replayed into a timeline, much as the GPU
+simulator's utilization traces back Figure 9.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Optional, Union
+
+
+class JsonlTraceSink:
+    """Writes runtime trace events as JSON lines.
+
+    >>> sink = JsonlTraceSink("/tmp/trace.jsonl")   # doctest: +SKIP
+    >>> sink.emit("submit", task_id=3, attempt=1)   # doctest: +SKIP
+    >>> sink.close()                                # doctest: +SKIP
+
+    Accepts a path or an already-open text handle (handy for tests and
+    in-memory buffers); only handles the sink opened itself are closed by
+    :meth:`close`.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.events_emitted = 0
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line; ``t`` is the wall-clock timestamp."""
+        record = {"t": time.time(), "event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.events_emitted += 1
+
+    def flush(self) -> None:
+        """Flush the underlying handle (called at run end)."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush, and close the handle if this sink opened it."""
+        self.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

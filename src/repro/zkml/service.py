@@ -17,8 +17,9 @@ produced every prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from ..core.batch import ProofTask
 from ..core.prover import SnarkProver, make_pcs
 from ..core.verifier import SnarkVerifier
 from ..core.proof import SnarkProof
@@ -30,6 +31,9 @@ from ..pipeline.system import BatchZkpSystem, SystemResult
 from .circuitize import ZkmlCircuit, circuitize
 from .model import SequentialModel
 from .tensor import QuantizedTensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime import ParallelProvingRuntime, RuntimeStats
 
 #: Stage caps for the deep VGG pipeline: uncapped — the verifiable-CNN
 #: pipeline dedicates kernels to every layer of its much deeper module
@@ -68,6 +72,9 @@ class MlaasService:
         self._param_tree = MerkleTree.from_blocks(
             model.parameter_blocks(), self.hasher
         )
+        #: :class:`~repro.runtime.RuntimeStats` of the most recent
+        #: :meth:`prove_predictions` batch (None before the first batch).
+        self.last_runtime_stats: Optional["RuntimeStats"] = None
 
     @property
     def model_root(self) -> bytes:
@@ -93,6 +100,59 @@ class MlaasService:
         return PredictionResponse(
             prediction=zk.outputs, proof=proof, model_root=self.model_root
         )
+
+    def prove_predictions(
+        self,
+        inputs: Sequence[QuantizedTensor],
+        workers: int = 1,
+        runtime: Optional["ParallelProvingRuntime"] = None,
+    ) -> List[PredictionResponse]:
+        """Prove a *batch* of predictions, optionally across worker processes.
+
+        Same-shaped inputs to one model compile to the same circuit
+        structure, so the batch shares a single prover setup; with
+        ``workers > 1`` (or an explicit ``runtime``) the witnesses are
+        sharded across the process-pool runtime, which is the MLaaS
+        "flowing stream" setting of the paper's §5.  Should an input ever
+        compile to a structurally different circuit, the batch degrades to
+        per-input serial proving rather than producing invalid proofs.
+        The runtime's report lands in :attr:`last_runtime_stats`.
+        """
+        from ..runtime import ParallelProvingRuntime, ProverSpec
+
+        circuits = [circuitize(self.model, x, self.field) for x in inputs]
+        if not circuits:
+            return []
+        first = circuits[0].compiled
+        reference_digest = first.r1cs.digest()
+        uniform = all(
+            zk.compiled.r1cs.digest() == reference_digest for zk in circuits[1:]
+        )
+        if not uniform:
+            return [self.prove_prediction(x) for x in inputs]
+        if runtime is None:
+            spec = ProverSpec(
+                r1cs=first.r1cs,
+                public_indices=tuple(first.public_indices),
+                num_col_checks=self.num_col_checks,
+            )
+            runtime = ParallelProvingRuntime(spec, workers=workers)
+        tasks = [
+            ProofTask(
+                task_id=i,
+                witness=zk.compiled.witness,
+                public_values=zk.compiled.public_values,
+            )
+            for i, zk in enumerate(circuits)
+        ]
+        proofs, stats = runtime.prove_tasks(tasks)
+        self.last_runtime_stats = stats
+        return [
+            PredictionResponse(
+                prediction=zk.outputs, proof=proof, model_root=self.model_root
+            )
+            for zk, proof in zip(circuits, proofs)
+        ]
 
     def verify_prediction(
         self, x: QuantizedTensor, response: PredictionResponse

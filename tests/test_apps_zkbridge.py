@@ -107,3 +107,38 @@ class TestRevenueEconomics:
 
     def test_best_configuration(self, report):
         assert report.best_configuration() == "GH200/pipelined"
+
+
+class TestBatchProving:
+    """prove_batch shards transaction proofs across the S22 runtime."""
+
+    @pytest.fixture(scope="class")
+    def fast_prover(self):
+        return BridgeProver(rounds=2)
+
+    def test_batch_proofs_verify(self, fast_prover):
+        txs = random_transactions(3, seed=7)
+        pairs = fast_prover.prove_batch(txs, workers=2)
+        assert len(pairs) == len(txs)
+        for (compiled, proof), tx in zip(pairs, txs):
+            commitment = tx.commitment(F, fast_prover.perm)
+            amount = tx.amount % F.modulus
+            assert fast_prover.verify(compiled, proof, commitment, amount)
+        assert fast_prover.last_runtime_stats.proofs_generated == len(txs)
+
+    def test_batch_matches_individual_proofs(self, fast_prover):
+        from repro.core.serialize import serialize_proof
+
+        txs = random_transactions(2, seed=8)
+        pairs = fast_prover.prove_batch(txs, workers=1)
+        for (_, batched), tx in zip(pairs, txs):
+            _, single = fast_prover.prove(tx)
+            assert serialize_proof(batched, F) == serialize_proof(single, F)
+
+    def test_empty_batch(self, fast_prover):
+        assert fast_prover.prove_batch([]) == []
+
+    def test_zero_amount_rejected_up_front(self, fast_prover):
+        bad = Transaction(sender=1, receiver=2, amount=F.modulus, nonce=0)
+        with pytest.raises(ProofError):
+            fast_prover.prove_batch([bad], workers=2)

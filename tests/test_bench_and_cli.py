@@ -115,6 +115,25 @@ class TestCli:
     def test_device_override(self, capsys):
         assert cli_main(["table10", "--device", "V100"]) == 0
 
+    def test_prove_serial(self, capsys):
+        assert cli_main(["prove", "--tasks", "2", "--gates", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "all proofs verify: True" in out
+        assert "throughput" in out
+
+    def test_prove_parallel_with_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert cli_main([
+            "prove", "--tasks", "3", "--gates", "32",
+            "--workers", "2", "--trace", trace,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all proofs verify: True" in out
+        import json
+
+        events = [json.loads(line) for line in open(trace)]
+        assert any(e["event"] == "complete" for e in events)
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["table99"])

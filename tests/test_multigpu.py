@@ -76,3 +76,75 @@ class TestSimulation:
         t2 = farm_throughput(["V100", "A100"], SCALE, batch_size=512)
         t3 = farm_throughput(["V100", "A100", "H100"], SCALE, batch_size=512)
         assert t1 < t2 < t3
+
+
+class TestStatsBugfixes:
+    """Regressions for the idle-shard, zero-rate, and re-probe bugs."""
+
+    def test_idle_device_counted_in_ideal_throughput(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        res = farm.simulate(batch_size=1)
+        idle = [s for s in res.shards if s.result is None]
+        assert idle and all(s.steady_rate > 0 for s in idle)
+        # The ideal denominator is the full farm's steady capacity, idle
+        # devices included — not just the shards that got work.
+        assert res.ideal_throughput_per_second == pytest.approx(
+            sum(farm.device_rates())
+        )
+        active_only = sum(
+            s.result.sim.steady_throughput_per_second
+            for s in res.shards
+            if s.result is not None
+        )
+        assert res.ideal_throughput_per_second > active_only
+
+    def test_idle_device_lowers_scaling_efficiency(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        res = farm.simulate(batch_size=1)
+        # One device working, one idle: efficiency can't exceed the
+        # working device's share of total capacity.
+        rates = farm.device_rates()
+        assert res.scaling_efficiency <= max(rates) / sum(rates) + 1e-9
+
+    def test_zero_total_rate_falls_back_to_even_split(self):
+        farm = MultiGpuBatchSystem(["V100", "H100"], scale=SCALE)
+        farm._rates_cache = [0.0, 0.0]  # degenerate cost model
+        shares = farm.shard(5)
+        assert sum(shares) == 5
+        assert sorted(shares) == [2, 3]
+
+    def test_device_rates_probed_once(self, monkeypatch):
+        from repro.pipeline.system import BatchZkpSystem as System
+
+        farm = MultiGpuBatchSystem(["V100", "A100"], scale=SCALE)
+        calls = {"n": 0}
+        original = System.simulate
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(System, "simulate", counting)
+        farm.shard(10)
+        farm.shard(20)
+        farm.shard(30)
+        assert calls["n"] == 2  # one probe per device, ever
+
+    def test_repeated_simulate_does_not_reprobe(self, monkeypatch):
+        from repro.pipeline.system import BatchZkpSystem as System
+
+        farm = MultiGpuBatchSystem(["V100", "A100"], scale=SCALE)
+        probes = {"n": 0}
+        original = System.simulate
+
+        def counting(self, *args, **kwargs):
+            if kwargs.get("batch_size") == 64 and "multi_stream" not in kwargs:
+                probes["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(System, "simulate", counting)
+        farm.simulate(batch_size=10)
+        first = probes["n"]
+        farm.simulate(batch_size=10)
+        farm.simulate(batch_size=12)
+        assert first == 2 and probes["n"] == first

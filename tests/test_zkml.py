@@ -272,6 +272,29 @@ class TestMlaasService:
         bad = dataclasses.replace(resp, prediction=[v + 1 for v in resp.prediction])
         assert not service.verify_prediction(x, bad)
 
+    def test_prove_predictions_batch_verifies(self, service):
+        """Batched request streams ride the S22 parallel runtime."""
+        xs = [
+            random_input(service.model.input_shape, seed=s, frac_bits=4)
+            for s in (21, 22, 23)
+        ]
+        resps = service.prove_predictions(xs, workers=2)
+        assert len(resps) == 3
+        assert all(
+            service.verify_prediction(x, r) for x, r in zip(xs, resps)
+        )
+        assert service.last_runtime_stats.proofs_generated == 3
+
+    def test_prove_predictions_empty(self, service):
+        assert service.prove_predictions([]) == []
+
+    def test_prove_predictions_matches_single(self, service):
+        x = random_input(service.model.input_shape, seed=24, frac_bits=4)
+        (batched,) = service.prove_predictions([x], workers=1)
+        single = service.prove_prediction(x)
+        assert batched.prediction == single.prediction
+        assert service.verify_prediction(x, batched)
+
     def test_model_substitution_detected(self, service):
         """Figure 8's security claim: a different model has a different
         Merkle root, so its responses are rejected."""
