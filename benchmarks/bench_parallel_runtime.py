@@ -9,9 +9,11 @@ injected worker crash mid-batch still yields a complete, verifying proof
 set via the retry path.
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_parallel_runtime.py
+Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_parallel_runtime.py --quick
 """
 
 import os
+import sys
 import time
 
 import pytest
@@ -127,9 +129,10 @@ def test_bench_crash_recovery(show):
 
 if __name__ == "__main__":
     cores = os.cpu_count() or 1
-    print(f"host cores: {cores}")
-    workers = min(WORKERS, cores)
-    row = run_scaling(workers=workers)
+    quick = "--quick" in sys.argv[1:]
+    print(f"host cores: {cores}{' (quick mode)' if quick else ''}")
+    workers = min(2 if quick else WORKERS, cores)
+    row = run_scaling(tasks=8 if quick else TASKS, workers=workers)
     print(
         f"[scaling]   {row['tasks']} tasks | serial "
         f"{row['serial_throughput']:6.2f} p/s | {row['workers']} workers "
@@ -137,7 +140,7 @@ if __name__ == "__main__":
         f"| utilization {row['utilization'] * 100:.0f}% "
         f"| p95 {row['p95_latency_ms']:.0f} ms"
     )
-    rec = run_crash_recovery(workers=workers)
+    rec = run_crash_recovery(tasks=8 if quick else TASKS, workers=workers)
     print(
         f"[recovery]  injected crashes -> retries={rec['retries']}, "
         f"complete={rec['complete']}, all proofs verify={rec['verified']}"

@@ -1,0 +1,175 @@
+"""Streaming service sweep: arrival rate × batch window.
+
+Not a paper table, but the paper's thesis made operational: batch
+proving only pays if the front-end can *form* batches from an online
+stream.  This benchmark replays synthetic Poisson traffic through
+:class:`repro.service.ProofService` across a grid of arrival rates and
+batching windows and reports, per cell, the achieved throughput, mean
+batch size, cache absorption, and p95 end-to-end latency — the
+throughput/latency tradeoff the ``max_wait_seconds`` knob buys.
+
+Expected shape: longer windows form larger (more efficient) batches and
+raise throughput under load, at the cost of added queueing latency at
+low rates; the cache line shows duplicate traffic served below proving
+cost.
+
+Run directly for a report:  PYTHONPATH=src python benchmarks/bench_service.py
+Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_service.py --quick
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.core import ProofTask, SnarkProver, make_pcs, random_circuit
+from repro.field import DEFAULT_FIELD
+from repro.runtime import ProverSpec
+from repro.service import (
+    BatchPolicy,
+    ProofService,
+    RuntimeProofBackend,
+    poisson_trace,
+    replay,
+    spec_key,
+    task_witness_key,
+)
+
+GATES = 96
+REQUESTS = 64
+RATES = (100.0, 400.0)
+WINDOWS = (0.002, 0.02, 0.08)
+MAX_BATCH = 16
+
+QUICK_REQUESTS = 16
+QUICK_RATES = (400.0,)
+QUICK_WINDOWS = (0.002, 0.02)
+
+
+def _setup(gates: int = GATES):
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=9)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
+    return cc, spec, spec_key(spec)
+
+
+def run_cell(
+    cc,
+    spec,
+    key,
+    *,
+    rate: float,
+    window: float,
+    requests: int = REQUESTS,
+    verify_sample: int = 4,
+) -> dict:
+    """One (arrival rate, batch window) cell of the sweep."""
+    backend = RuntimeProofBackend({key: spec})
+    policy = BatchPolicy(max_batch_size=MAX_BATCH, max_wait_seconds=window)
+    events = poisson_trace(
+        requests, rate, seed=int(rate) ^ 17, duplicate_fraction=0.15
+    )
+
+    def make_request(i):
+        task = ProofTask(i, cc.witness, cc.public_values)
+        return task, key, task_witness_key(task) + i.to_bytes(4, "little")
+
+    service = ProofService(backend, policy=policy, max_queue=4 * requests)
+    start = time.perf_counter()
+    tickets, rejected = replay(service, events, make_request)
+    service.drain(timeout=600)
+    wall = time.perf_counter() - start
+    service.close()
+
+    accepted = [t for t in tickets if t is not None]
+    proofs = [t.result(timeout=60) for t in accepted]
+    verifier = backend.verifier_for(key)
+    verified = all(
+        verifier.verify(p, cc.public_values) for p in proofs[:verify_sample]
+    )
+    stats = service.stats
+    return {
+        "rate": rate,
+        "window_ms": window * 1e3,
+        "completed": stats.completed,
+        "throughput": stats.completed / wall if wall > 0 else 0.0,
+        "mean_batch": stats.mean_batch_size,
+        "batches": len(stats.batch_sizes),
+        "cache_absorbed": stats.cache_hits + stats.coalesced,
+        "p95_ms": stats.p95_latency_seconds * 1e3,
+        "deadline_misses": stats.deadline_misses,
+        "rejected": rejected,
+        "verified": verified,
+    }
+
+
+def run_sweep(
+    rates=RATES, windows=WINDOWS, requests: int = REQUESTS
+) -> list:
+    cc, spec, key = _setup()
+    return [
+        run_cell(cc, spec, key, rate=rate, window=window, requests=requests)
+        for rate in rates
+        for window in windows
+    ]
+
+
+def _format(rows) -> str:
+    lines = [
+        f"{'rate':>6} {'window':>8} {'batches':>8} {'mean sz':>8} "
+        f"{'thpt p/s':>9} {'p95 ms':>8} {'cached':>7} {'ok':>3}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['rate']:6.0f} {r['window_ms']:6.0f}ms {r['batches']:8d} "
+            f"{r['mean_batch']:8.1f} {r['throughput']:9.1f} "
+            f"{r['p95_ms']:8.1f} {r['cache_absorbed']:7d} "
+            f"{'y' if r['verified'] else 'N':>3}"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest entry points (quick, CI-safe) -------------------------------------
+
+def test_bench_service_quick_cells(show):
+    """Quick sweep: every cell completes, verifies, and forms batches."""
+    rows = run_sweep(
+        rates=QUICK_RATES, windows=QUICK_WINDOWS, requests=QUICK_REQUESTS
+    )
+    show("service sweep (quick):\n" + _format(rows))
+    for row in rows:
+        assert row["verified"], row
+        assert row["completed"] >= QUICK_REQUESTS
+        assert row["batches"] >= 1
+
+
+def test_bench_wider_window_forms_larger_batches(show):
+    """The batching knob works: a 40x wider window must not form *more*
+    batches for the same load, and typically forms larger ones."""
+    cc, spec, key = _setup()
+    tight = run_cell(cc, spec, key, rate=400.0, window=0.002,
+                     requests=QUICK_REQUESTS * 2)
+    wide = run_cell(cc, spec, key, rate=400.0, window=0.08,
+                    requests=QUICK_REQUESTS * 2)
+    show(
+        f"window 2ms → {tight['batches']} batches (mean {tight['mean_batch']:.1f}); "
+        f"window 80ms → {wide['batches']} batches (mean {wide['mean_batch']:.1f})"
+    )
+    assert wide["batches"] <= tight["batches"]
+    assert wide["mean_batch"] >= tight["mean_batch"]
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    if quick:
+        rows = run_sweep(
+            rates=QUICK_RATES, windows=QUICK_WINDOWS, requests=QUICK_REQUESTS
+        )
+    else:
+        rows = run_sweep()
+    print(f"service sweep over {len(rows)} cells "
+          f"({'quick' if quick else 'full'} mode, {GATES} gates):")
+    print(_format(rows))
+    if not all(r["verified"] for r in rows):
+        sys.exit(1)

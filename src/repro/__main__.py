@@ -8,6 +8,7 @@ Usage::
     python -m repro all                   # everything
     python -m repro breakdown             # §6.3 speedup decomposition
     python -m repro prove --workers 4     # real proofs on the parallel runtime
+    python -m repro serve --requests 60   # streaming service on a synthetic trace
 """
 
 from __future__ import annotations
@@ -110,6 +111,103 @@ def _run_prove(args) -> int:
     return 0 if ok else 1
 
 
+def _run_serve(args) -> int:
+    """Replay a synthetic arrival trace through the streaming service."""
+    from .core import ProofTask, SnarkProver, make_pcs, random_circuit
+    from .field import DEFAULT_FIELD
+    from .runtime import JsonlTraceSink, ProverSpec
+    from .service import (
+        BatchPolicy,
+        ProofService,
+        RuntimeProofBackend,
+        bursty_trace,
+        poisson_trace,
+        replay,
+        spec_key,
+        task_witness_key,
+    )
+
+    # Two circuit scales so the batcher's circuit-key grouping is live.
+    specs, keys, circuits = [], [], []
+    for i, gates in enumerate(dict.fromkeys([args.gates, args.gates * 2])):
+        cc = random_circuit(DEFAULT_FIELD, gates, seed=10 + i)
+        pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+        prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+        spec = ProverSpec.from_prover(prover)
+        specs.append(spec)
+        keys.append(spec_key(spec))
+        circuits.append(cc)
+
+    trace_fn = poisson_trace if args.pattern == "poisson" else bursty_trace
+    events = trace_fn(
+        args.requests,
+        args.rate,
+        seed=args.seed,
+        duplicate_fraction=args.duplicates,
+        deadline_seconds=args.deadline if args.deadline > 0 else None,
+    )
+
+    def make_request(i):
+        which = i % len(circuits)
+        cc = circuits[which]
+        task = ProofTask(i, cc.witness, cc.public_values)
+        # Tag the dedup key with the arrival index: each fresh arrival is
+        # distinct work; only trace-marked duplicates share a key.
+        witness_key = task_witness_key(task) + i.to_bytes(4, "little")
+        return task, keys[which], witness_key
+
+    sink = JsonlTraceSink(args.trace) if args.trace else None
+    backend = RuntimeProofBackend.from_specs(specs, workers=args.workers)
+    policy = BatchPolicy(
+        max_batch_size=args.batch_size, max_wait_seconds=args.window
+    )
+    print(
+        f"Serving {args.requests} {args.pattern} arrivals at ~{args.rate}/s "
+        f"(batch<= {args.batch_size}, window {args.window * 1e3:.0f} ms, "
+        f"queue<= {args.max_queue}, {args.workers} worker(s))…"
+    )
+    service = ProofService(
+        backend,
+        policy=policy,
+        max_queue=args.max_queue,
+        trace=sink,
+    )
+    try:
+        tickets, rejected = replay(service, events, make_request)
+        service.drain(timeout=600)
+    finally:
+        service.close()
+        if sink is not None:
+            sink.close()
+    checked = 0
+    ok = True
+    verifiers = {}
+    for event_index, ticket in enumerate(tickets):
+        if ticket is None:
+            continue
+        proof = ticket.result(timeout=60)
+        if checked >= args.verify_sample:
+            continue  # still drain every ticket above
+        event = events[event_index]
+        target = (
+            event.duplicate_of if event.duplicate_of is not None
+            else event_index
+        )
+        which = target % len(circuits)
+        if which not in verifiers:
+            verifiers[which] = backend.verifier_for(keys[which])
+        ok = ok and verifiers[which].verify(
+            proof, circuits[which].public_values
+        )
+        checked += 1
+    print(service.stats.report())
+    print(f"rejected at admission: {rejected}")
+    print(f"verified sample of {checked}: {'ok' if ok else 'FAILED'}")
+    if args.trace:
+        print(f"trace events written to {args.trace}")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -118,7 +216,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(TABLES)
-        + ["fig9", "breakdown", "all", "list", "apidoc", "prove"],
+        + ["fig9", "breakdown", "all", "list", "apidoc", "prove", "serve"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -148,16 +246,57 @@ def main(argv=None) -> int:
         "--trace",
         default=None,
         metavar="FILE",
-        help="JSONL trace-event sink for `prove`",
+        help="JSONL trace-event sink for `prove` / `serve`",
+    )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--requests", type=int, default=60,
+        help="arrivals to replay for `serve` (default 60)",
+    )
+    serve_group.add_argument(
+        "--rate", type=float, default=300.0,
+        help="mean arrival rate, requests/second (default 300)",
+    )
+    serve_group.add_argument(
+        "--pattern", choices=["poisson", "bursty"], default="poisson",
+        help="arrival process shape (default poisson)",
+    )
+    serve_group.add_argument(
+        "--batch-size", type=int, default=8,
+        help="max requests per dispatched batch (default 8)",
+    )
+    serve_group.add_argument(
+        "--window", type=float, default=0.02,
+        help="max batching wait in seconds (default 0.02)",
+    )
+    serve_group.add_argument(
+        "--max-queue", type=int, default=128,
+        help="admission-control queue bound (default 128)",
+    )
+    serve_group.add_argument(
+        "--duplicates", type=float, default=0.15,
+        help="fraction of arrivals repeating earlier work (default 0.15)",
+    )
+    serve_group.add_argument(
+        "--deadline", type=float, default=0.0,
+        help="relative deadline (s) for interactive arrivals; 0 = none",
+    )
+    serve_group.add_argument(
+        "--seed", type=int, default=0, help="trace RNG seed (default 0)"
+    )
+    serve_group.add_argument(
+        "--verify-sample", type=int, default=8,
+        help="how many returned proofs to spot-verify (default 8)",
     )
     args = parser.parse_args(argv)
 
-    if args.experiment == "prove":
-        from .errors import ProofError
+    if args.experiment in ("prove", "serve"):
+        from .errors import ProofError, ServiceError
 
         try:
-            return _run_prove(args)
-        except (ProofError, OSError) as exc:
+            return _run_prove(args) if args.experiment == "prove" else \
+                _run_serve(args)
+        except (ProofError, ServiceError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 

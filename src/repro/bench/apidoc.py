@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.gpu",
     "repro.pipeline",
     "repro.runtime",
+    "repro.service",
     "repro.baselines",
     "repro.zkml",
     "repro.apps",
@@ -61,6 +62,12 @@ def document_module(module_name: str) -> str:
     mod_summary = _summary(module)
     if mod_summary:
         lines.append(mod_summary)
+        lines.append("")
+    # Subpackages may carry extended reference prose in ``__apidoc__``;
+    # it is rendered verbatim between the summary and the symbol table.
+    extended = getattr(module, "__apidoc__", "").strip()
+    if extended:
+        lines.append(extended)
         lines.append("")
     lines.append("| symbol | kind | summary |")
     lines.append("|---|---|---|")

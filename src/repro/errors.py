@@ -76,3 +76,24 @@ class PipelineError(ReproError):
 
 class ZkmlError(ReproError):
     """Verifiable-ML application failure."""
+
+
+class ServiceError(ReproError):
+    """Streaming proof-service failure (submission, lifecycle, tickets)."""
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected at the service door, with a typed reason.
+
+    Admission control turns overload into an immediate, explicit signal
+    instead of unbounded queueing: callers inspect :attr:`reason`
+    (``"queue_full"``, ``"bulk_shed"``, ``"service_closed"``) and decide
+    whether to retry, downgrade, or shed load themselves.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        message = f"request rejected: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)

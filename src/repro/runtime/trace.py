@@ -10,6 +10,7 @@ simulator's utilization traces back Figure 9.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import IO, Optional, Union
 
@@ -24,6 +25,11 @@ class JsonlTraceSink:
     Accepts a path or an already-open text handle (handy for tests and
     in-memory buffers); only handles the sink opened itself are closed by
     :meth:`close`.
+
+    :meth:`emit` is thread-safe: one sink may be shared by the proving
+    dispatcher, the service's batcher thread, and any number of
+    submitting threads — lines never interleave and the event counter
+    never drops an increment.
     """
 
     def __init__(self, target: Union[str, IO[str]]):
@@ -33,18 +39,22 @@ class JsonlTraceSink:
         else:
             self._handle = target
             self._owns_handle = False
+        self._lock = threading.Lock()
         self.events_emitted = 0
 
     def emit(self, event: str, **fields) -> None:
         """Append one event line; ``t`` is the wall-clock timestamp."""
         record = {"t": time.time(), "event": event}
         record.update(fields)
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self.events_emitted += 1
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self.events_emitted += 1
 
     def flush(self) -> None:
         """Flush the underlying handle (called at run end)."""
-        self._handle.flush()
+        with self._lock:
+            self._handle.flush()
 
     def close(self) -> None:
         """Flush, and close the handle if this sink opened it."""

@@ -1,0 +1,97 @@
+"""Streaming proof service (system S23 in DESIGN.md).
+
+The paper's opening scenario — "service providers need to continuously
+process customer inputs that come in like a flowing stream" (§1) — needs
+more than a fast batch prover: it needs the layer that turns an online
+request *stream* into the well-formed uniform *batches* the proving
+machinery is fast at.  This package is that layer:
+
+* :class:`ProofService` — submit/ticket front door with watermark
+  admission control (typed :class:`~repro.errors.AdmissionError`
+  rejections, BULK shedding with hysteresis);
+* :class:`DynamicBatcher` / :class:`BatchPolicy` — size, age, and
+  deadline batch triggers over circuit-key groups, priority-first and
+  deadline-aware ordering;
+* :class:`ResultCache` — LRU result reuse plus single-flight
+  deduplication of identical in-flight requests;
+* :class:`ServiceStats` — arrival rate, queue depth, batch-size
+  histogram, deadline misses, cache hit rate, p50/p95/p99 end-to-end
+  latency;
+* :class:`RuntimeProofBackend` — the stock bridge onto
+  :class:`~repro.runtime.ParallelProvingRuntime`, one shared prover
+  setup per circuit key;
+* :mod:`~repro.service.workload` — Poisson and bursty arrival traces
+  with priorities, deadlines, and duplicates, plus a real-time
+  :func:`replay` driver.
+
+``python -m repro serve`` replays a synthetic trace end to end;
+``benchmarks/bench_service.py`` sweeps arrival rate × batch window.
+"""
+
+from .backends import (
+    ProofBackend,
+    RuntimeProofBackend,
+    spec_key,
+    task_witness_key,
+)
+from .batcher import BatchPolicy, DynamicBatcher
+from .cache import ResultCache
+from .request import Priority, ProofRequest, Ticket
+from .service import ProofService
+from .stats import ServiceStats
+from .workload import (
+    ArrivalEvent,
+    bursty_trace,
+    poisson_trace,
+    replay,
+)
+
+__apidoc__ = """\
+**Submit/ticket lifecycle.** `ProofService.submit(payload, circuit_key=…,
+witness_key=…, priority=…, deadline_seconds=…)` never blocks: it either
+returns a `Ticket` or raises a typed `AdmissionError` whose `reason` is
+`"queue_full"` (hard bound `max_queue` hit), `"bulk_shed"` (queue above
+`high_watermark`; BULK rejected until depth falls below `low_watermark` —
+INTERACTIVE still boards), or `"service_closed"`. The ticket resolves
+once — `ticket.result(timeout)` blocks for the value, `ticket.source`
+says whether it was `"proved"`, served from `"cache"`, or `"coalesced"`
+onto an identical in-flight request. Deadlines shape scheduling and are
+*recorded* when missed (`ServiceStats.deadline_misses`); they never drop
+a request. `close(drain=True)` flushes the queue; `close(drain=False)`
+fails pending tickets with `ServiceError`.
+
+**Batching knobs (`BatchPolicy`).** Requests group by `circuit_key` so
+every batch is uniform (one prover setup per batch). A group dispatches
+when it reaches `max_batch_size` (size trigger), when its oldest member
+has waited `max_wait_seconds` (age trigger — the throughput/latency
+knob), or when any member's deadline slack falls to
+`urgency_slack_seconds` (deadline trigger). Among ripe groups the most
+urgent wins — priority class, then earliest deadline, then arrival — and
+the batch is ordered the same way.
+
+**Cache semantics.** Results are keyed by `(circuit_key, witness_key)`.
+A finished key resolves new submissions instantly (LRU, `cache_capacity`
+entries); an in-flight key parks the new ticket on the leader
+(single-flight: N identical concurrent requests cost one proof). Pass
+`witness_key=None` to opt a request out of caching entirely. A failed
+batch releases its claims so a retry can re-prove.
+"""
+
+__all__ = [
+    "ArrivalEvent",
+    "BatchPolicy",
+    "DynamicBatcher",
+    "Priority",
+    "ProofBackend",
+    "ProofRequest",
+    "ProofService",
+    "ResultCache",
+    "RuntimeProofBackend",
+    "ServiceStats",
+    "Ticket",
+    "bursty_trace",
+    "poisson_trace",
+    "replay",
+    "spec_key",
+    "task_witness_key",
+]

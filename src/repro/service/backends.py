@@ -1,0 +1,137 @@
+"""Proving backends: what the service dispatches a formed batch to.
+
+A backend is anything with ``prove_batch(circuit_key, requests) ->
+results`` (one result per request, in order).  Because the batcher only
+ever forms *uniform* batches (one circuit key per batch), a backend can
+assume every request in the call shares a prover setup — the same
+contract :meth:`MlaasService.prove_predictions` exploits.
+
+:class:`RuntimeProofBackend` is the stock backend for raw
+:class:`~repro.core.batch.ProofTask` payloads: it holds one
+:class:`~repro.runtime.ProverSpec` per circuit key, pays each key's
+prover construction once for the service's lifetime (not once per
+batch), and shards multi-worker batches through
+:class:`~repro.runtime.ParallelProvingRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..core.batch import ProofTask
+from ..core.prover import SnarkProver
+from ..core.verifier import SnarkVerifier
+from ..errors import ServiceError
+from ..runtime import ParallelProvingRuntime, ProverSpec, RuntimeStats
+from .request import ProofRequest
+
+try:  # pragma: no cover - version probe
+    from typing import Protocol
+except ImportError:  # pragma: no cover - Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+
+class ProofBackend(Protocol):
+    """Structural interface every service backend satisfies."""
+
+    def prove_batch(
+        self, circuit_key: bytes, requests: Sequence[ProofRequest]
+    ) -> List[Any]:
+        """Prove one uniform batch; one result per request, in order."""
+        ...  # pragma: no cover - protocol stub
+
+
+class RuntimeProofBackend:
+    """Proves :class:`ProofTask` payloads on the parallel runtime.
+
+    Args:
+        specs:   ``{circuit key: ProverSpec}`` — the circuits this
+                 backend can serve.  The natural key is
+                 ``spec.r1cs.digest()`` (see :func:`spec_key`).
+        workers: ``1`` proves inline on the batcher thread with a
+                 prover cached per circuit key; ``> 1`` shards each
+                 batch across a process pool.
+        runtime_options: Extra keyword arguments forwarded to
+                 :class:`ParallelProvingRuntime` in pooled mode
+                 (``chunk_size``, ``max_retries``, …).
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[bytes, ProverSpec],
+        workers: int = 1,
+        runtime_options: Optional[dict] = None,
+    ):
+        if not specs:
+            raise ServiceError("RuntimeProofBackend needs at least one spec")
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.specs = dict(specs)
+        self.workers = workers
+        self.runtime_options = dict(runtime_options or {})
+        self._provers: Dict[bytes, SnarkProver] = {}
+        self._runtimes: Dict[bytes, ParallelProvingRuntime] = {}
+        #: :class:`RuntimeStats` of the most recent pooled batch (None in
+        #: inline mode or before the first batch).
+        self.last_runtime_stats: Optional[RuntimeStats] = None
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[ProverSpec], **kwargs
+    ) -> "RuntimeProofBackend":
+        """Build with keys derived from each spec's R1CS digest."""
+        return cls({spec_key(spec): spec for spec in specs}, **kwargs)
+
+    def _spec_for(self, circuit_key: bytes) -> ProverSpec:
+        try:
+            return self.specs[circuit_key]
+        except KeyError:
+            raise ServiceError(
+                f"no ProverSpec registered for circuit key "
+                f"{circuit_key.hex()[:16]}…"
+            ) from None
+
+    def prove_batch(
+        self, circuit_key: bytes, requests: Sequence[ProofRequest]
+    ) -> List[Any]:
+        """Prove every request's :class:`ProofTask` payload."""
+        spec = self._spec_for(circuit_key)
+        tasks: List[ProofTask] = [request.payload for request in requests]
+        if self.workers == 1:
+            prover = self._provers.get(circuit_key)
+            if prover is None:
+                prover = spec.build_prover()
+                self._provers[circuit_key] = prover
+            return [
+                prover.prove(task.witness, task.public_values)
+                for task in tasks
+            ]
+        runtime = self._runtimes.get(circuit_key)
+        if runtime is None:
+            runtime = ParallelProvingRuntime(
+                spec, workers=self.workers, **self.runtime_options
+            )
+            self._runtimes[circuit_key] = runtime
+        proofs, stats = runtime.prove_tasks(tasks)
+        self.last_runtime_stats = stats
+        return proofs
+
+    def verifier_for(self, circuit_key: bytes) -> SnarkVerifier:
+        """The matching verifier for one registered circuit (for clients)."""
+        return self._spec_for(circuit_key).build_verifier()
+
+
+def spec_key(spec: ProverSpec) -> bytes:
+    """The canonical circuit key for a spec: its R1CS digest."""
+    return spec.r1cs.digest()
+
+
+def task_witness_key(task: ProofTask) -> bytes:
+    """A dedup key for a :class:`ProofTask`: digest of witness + publics."""
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(",".join(str(int(v)) for v in task.witness).encode())
+    h.update(b"|")
+    h.update(",".join(str(int(v)) for v in task.public_values).encode())
+    return h.digest()

@@ -1,0 +1,185 @@
+"""Dynamic batch formation: when to cut a batch, and what goes in it.
+
+The paper's pipeline wants large uniform batches (every module processes
+a *batch* of proof tasks per beat); an online service wants low latency.
+:class:`BatchPolicy` arbitrates with three triggers, evaluated per
+circuit-key group:
+
+* **size** — a group reaching ``max_batch_size`` is dispatched at once
+  (the batch is as good as it will get);
+* **age** — a group whose oldest request has waited ``max_wait_seconds``
+  is dispatched even if small (bounds the batching delay);
+* **deadline** — a group containing a request whose deadline slack has
+  shrunk to ``urgency_slack_seconds`` is dispatched immediately.
+
+Groups are keyed by circuit digest so every dispatched batch is
+*uniform* — it hits the shared-prover-setup fast path
+(:class:`~repro.runtime.ProverSpec` built once per batch, as in
+:meth:`MlaasService.prove_predictions`).  Among ripe groups, the one
+holding the most urgent request (priority class, then earliest deadline,
+then arrival) wins, and members are ordered by the same key inside the
+batch.
+
+:class:`BatchPolicy` is pure (pending list + clock in, batch out) so the
+scheduling behavior is unit-testable without threads;
+:class:`DynamicBatcher` is the thread that runs it against the service's
+queue and dispatches the selected batches.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..errors import ServiceError
+from .request import ProofRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .service import ProofService
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs for the size / age / deadline batch triggers.
+
+    Args:
+        max_batch_size:        Hard cap on requests per dispatched batch
+                               (the size trigger fires at this count).
+        max_wait_seconds:      Oldest-request age at which a group is
+                               dispatched regardless of size (the batch
+                               window; the throughput/latency knob).
+        urgency_slack_seconds: Deadline slack below which a request makes
+                               its whole group ripe.  ``None`` defaults
+                               to ``max_wait_seconds`` — a request is
+                               never held once waiting longer could miss
+                               its deadline.
+    """
+
+    max_batch_size: int = 16
+    max_wait_seconds: float = 0.05
+    urgency_slack_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ServiceError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_seconds < 0:
+            raise ServiceError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+
+    @property
+    def slack(self) -> float:
+        """Effective urgency slack (defaults to the batch window)."""
+        if self.urgency_slack_seconds is not None:
+            return self.urgency_slack_seconds
+        return self.max_wait_seconds
+
+    # -- pure scheduling decisions -------------------------------------------
+
+    def group(
+        self, pending: Sequence[ProofRequest]
+    ) -> Dict[bytes, List[ProofRequest]]:
+        """Partition pending requests into uniform circuit-key groups."""
+        groups: Dict[bytes, List[ProofRequest]] = defaultdict(list)
+        for request in pending:
+            groups[request.circuit_key].append(request)
+        return dict(groups)
+
+    def _ripe(self, requests: List[ProofRequest], now: float) -> bool:
+        if len(requests) >= self.max_batch_size:
+            return True
+        oldest = min(r.submitted_at for r in requests)
+        if now - oldest >= self.max_wait_seconds:
+            return True
+        return any(
+            r.deadline is not None and r.deadline - now <= self.slack
+            for r in requests
+        )
+
+    def select(
+        self,
+        pending: Sequence[ProofRequest],
+        now: float,
+        drain: bool = False,
+    ) -> Optional[List[ProofRequest]]:
+        """The next batch to dispatch, or None if no trigger has fired.
+
+        With ``drain=True`` every non-empty group is ripe (service
+        shutdown flushes the queue).  The returned batch is deadline-aware
+        ordered: priority class first, then earliest deadline, then FIFO.
+        """
+        if not pending:
+            return None
+        ripe = [
+            requests
+            for requests in self.group(pending).values()
+            if drain or self._ripe(requests, now)
+        ]
+        if not ripe:
+            return None
+        chosen = min(ripe, key=lambda reqs: min(r.urgency() for r in reqs))
+        ordered = sorted(chosen, key=ProofRequest.urgency)
+        return ordered[: self.max_batch_size]
+
+    def next_wakeup(
+        self, pending: Sequence[ProofRequest], now: float
+    ) -> Optional[float]:
+        """Earliest future instant a time-based trigger can fire.
+
+        None when the queue is empty (sleep until a submit wakes us).
+        """
+        if not pending:
+            return None
+        candidates: List[float] = []
+        for requests in self.group(pending).values():
+            oldest = min(r.submitted_at for r in requests)
+            candidates.append(oldest + self.max_wait_seconds)
+            for r in requests:
+                if r.deadline is not None:
+                    candidates.append(r.deadline - self.slack)
+        return min(candidates)
+
+
+class DynamicBatcher(threading.Thread):
+    """The scheduler thread: waits for a trigger, cuts a batch, dispatches.
+
+    Dispatch runs *on this thread*, synchronously — while a batch proves,
+    arrivals accumulate, so the next batch is naturally larger under
+    load.  That is the dynamic-batching feedback loop: light traffic gets
+    small low-latency batches, heavy traffic gets big efficient ones.
+    """
+
+    def __init__(self, service: "ProofService", policy: BatchPolicy):
+        super().__init__(name="repro-batcher", daemon=True)
+        self.service = service
+        self.policy = policy
+
+    def run(self) -> None:  # pragma: no cover - exercised via ProofService
+        service = self.service
+        while True:
+            with service._cond:
+                while True:
+                    now = service._clock()
+                    batch = self.policy.select(
+                        service._pending, now, drain=service._closing
+                    )
+                    if batch is not None:
+                        for request in batch:
+                            service._pending.remove(request)
+                        service._active_batches += 1
+                        break
+                    if service._closing:
+                        return
+                    wakeup = self.policy.next_wakeup(service._pending, now)
+                    timeout = None if wakeup is None else max(wakeup - now, 0.0)
+                    service._cond.wait(timeout)
+            try:
+                service._dispatch(batch)
+            finally:
+                with service._cond:
+                    service._active_batches -= 1
+                    service._cond.notify_all()

@@ -1,0 +1,139 @@
+"""Requests, priorities, and future-like tickets for the proof service.
+
+The unit of the streaming front-end is a :class:`ProofRequest` — an
+opaque payload tagged with the routing metadata the scheduler needs: a
+*circuit key* (requests with the same key compile to the same R1CS, so a
+batch of them shares one prover setup), a *witness key* (two requests
+with the same circuit and witness keys are byte-identical work, which is
+what the result cache dedupes on), a :class:`Priority` class, and an
+optional deadline.
+
+Submission returns a :class:`Ticket` immediately; the caller blocks on
+:meth:`Ticket.result` only when it actually needs the proof, which is
+what lets one client thread keep the arrival stream flowing while the
+batcher forms batches behind it.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Optional
+
+from ..errors import ServiceError
+
+
+class Priority(enum.IntEnum):
+    """Request priority class; lower value schedules first.
+
+    ``INTERACTIVE`` is the latency-sensitive class (a customer waiting on
+    a prediction); ``BULK`` is throughput work (batch re-proving, backfill)
+    that admission control sheds first under load.
+    """
+
+    INTERACTIVE = 0
+    BULK = 1
+
+
+class Ticket:
+    """A future-like handle for one submitted request.
+
+    The service resolves the ticket exactly once — with a result (proved,
+    served from cache, or coalesced onto an identical in-flight request)
+    or with an error.  ``source`` records which of those paths fulfilled
+    it: ``"proved"``, ``"cache"``, or ``"coalesced"``.
+    """
+
+    def __init__(
+        self,
+        request_id: int,
+        *,
+        priority: Priority = Priority.BULK,
+        submitted_at: float = 0.0,
+        deadline: Optional[float] = None,
+    ):
+        self.request_id = request_id
+        self.priority = priority
+        #: Monotonic submission timestamp (set by the service).
+        self.submitted_at = submitted_at
+        #: Absolute monotonic deadline, or None for "no deadline".
+        self.deadline = deadline
+        #: How the ticket was fulfilled: "proved" | "cache" | "coalesced".
+        self.source: Optional[str] = None
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    # -- caller side ----------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the ticket is resolved (result or error)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved; returns ``done()`` after the wait."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The request's result, blocking up to ``timeout`` seconds.
+
+        Raises :class:`~repro.errors.ServiceError` on timeout, or the
+        recorded failure if the request's batch failed.
+        """
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"request {self.request_id} not done within {timeout} s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def state(self) -> str:
+        """``"pending"``, ``"done"``, or ``"failed"``."""
+        if not self._event.is_set():
+            return "pending"
+        return "failed" if self._error is not None else "done"
+
+    # -- service side ---------------------------------------------------------
+
+    def _resolve(self, value: Any, source: str) -> None:
+        self._result = value
+        self.source = source
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class ProofRequest:
+    """One queued unit of work, as the batcher sees it."""
+
+    request_id: int
+    #: Opaque per-backend payload (a ProofTask, a QuantizedTensor, …).
+    payload: Any
+    #: Requests sharing this key compile to the same circuit and may batch.
+    circuit_key: bytes
+    #: Dedup key within a circuit (None = never cached or coalesced).
+    witness_key: Optional[bytes]
+    priority: Priority
+    #: Monotonic arrival time.
+    submitted_at: float
+    #: Absolute monotonic deadline (None = unconstrained).
+    deadline: Optional[float]
+    ticket: Ticket = dc_field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def cache_key(self) -> Optional[tuple]:
+        """The (circuit, witness) identity the result cache dedupes on."""
+        if self.witness_key is None:
+            return None
+        return (self.circuit_key, self.witness_key)
+
+    def urgency(self) -> tuple:
+        """Sort key for deadline-aware, priority-first ordering."""
+        deadline = self.deadline if self.deadline is not None else float("inf")
+        return (int(self.priority), deadline, self.submitted_at)

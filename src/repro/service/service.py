@@ -1,0 +1,362 @@
+"""The streaming proof service: admission, batching, caching, dispatch.
+
+:class:`ProofService` is the front door the paper's §1 scenario needs —
+"customer inputs that come in like a flowing stream" — in front of the
+batch-oriented proving machinery this repository already has.  The life
+of a request:
+
+1. :meth:`submit` runs **admission control**: a closed service or a full
+   queue rejects immediately with a typed
+   :class:`~repro.errors.AdmissionError` (never blocks), and between the
+   high and low watermarks BULK traffic is shed while INTERACTIVE
+   requests still board (hysteresis, so shedding doesn't flap).
+2. The **result cache** is consulted: a finished identical request
+   resolves the ticket instantly; an in-flight identical request parks
+   the ticket on the leader (single-flight).
+3. Otherwise the request joins the pending queue and the
+   :class:`~repro.service.batcher.DynamicBatcher` thread forms uniform,
+   deadline-aware batches and dispatches them to the backend.
+4. The ticket resolves with the result; :class:`ServiceStats` records
+   the end-to-end latency, deadline misses, batch shapes, and cache
+   behavior, and every lifecycle step can be traced through a (shared,
+   thread-safe) :class:`~repro.runtime.JsonlTraceSink`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import AdmissionError, ProofError, ServiceError
+from ..runtime.trace import JsonlTraceSink
+from .batcher import BatchPolicy, DynamicBatcher
+from .cache import ResultCache
+from .request import Priority, ProofRequest, Ticket
+from .stats import ServiceStats
+
+#: Maps a payload to its (circuit key, witness key) routing identity.
+Keyer = Callable[[Any], Tuple[bytes, Optional[bytes]]]
+
+
+class ProofService:
+    """Accepts a request stream, serves proof results through tickets.
+
+    >>> # sketch; see examples/streaming_service.py for a real run
+    >>> # service = ProofService(backend, policy=BatchPolicy(max_batch_size=8))
+    >>> # ticket = service.submit(task, circuit_key=key, witness_key=wkey)
+    >>> # proof = ticket.result(timeout=30)
+
+    Args:
+        backend:        Object with ``prove_batch(circuit_key, requests)``
+                        (see :mod:`repro.service.backends`).
+        policy:         Batch-formation knobs (:class:`BatchPolicy`).
+        max_queue:      Hard queue bound; a submit beyond it raises
+                        :class:`AdmissionError` ("queue_full").
+        high_watermark: Queue depth at which BULK admission stops
+                        ("bulk_shed").  Default ``3/4 × max_queue``.
+        low_watermark:  Depth at which BULK admission resumes.  Default
+                        ``1/2 × max_queue``.
+        cache_capacity: Finished-result LRU size (0 disables caching but
+                        single-flight dedup still applies).
+        keyer:          Optional payload → (circuit_key, witness_key)
+                        function so callers can omit explicit keys.
+        trace:          Optional shared :class:`JsonlTraceSink`.
+        start:          Start the batcher thread immediately (tests may
+                        pass False and drive :meth:`_dispatch` directly).
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        max_queue: int = 256,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        cache_capacity: int = 1024,
+        keyer: Optional[Keyer] = None,
+        trace: Optional[JsonlTraceSink] = None,
+        start: bool = True,
+    ):
+        if max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
+        self.backend = backend
+        self.policy = policy or BatchPolicy()
+        self.max_queue = max_queue
+        self.high_watermark = (
+            high_watermark if high_watermark is not None else (3 * max_queue) // 4
+        )
+        self.low_watermark = (
+            low_watermark if low_watermark is not None else max_queue // 2
+        )
+        if not 0 <= self.low_watermark <= self.high_watermark <= max_queue:
+            raise ServiceError(
+                f"watermarks must satisfy 0 <= low <= high <= max_queue, got "
+                f"low={self.low_watermark} high={self.high_watermark} "
+                f"max={max_queue}"
+            )
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.keyer = keyer
+        self.trace = trace
+        self.stats = ServiceStats()
+        self._clock = time.monotonic
+        self._cond = threading.Condition()
+        self._pending: List[ProofRequest] = []
+        self._active_batches = 0
+        self._closing = False
+        self._shedding = False
+        self._next_id = 0
+        self._batcher = DynamicBatcher(self, self.policy)
+        if start:
+            self._batcher.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Any,
+        *,
+        circuit_key: Optional[bytes] = None,
+        witness_key: Optional[bytes] = None,
+        priority: Priority = Priority.BULK,
+        deadline_seconds: Optional[float] = None,
+    ) -> Ticket:
+        """Admit one request; returns its :class:`Ticket` or raises.
+
+        ``deadline_seconds`` is relative to now; a completion after it
+        counts as a deadline miss (the request is still served — the
+        deadline shapes scheduling, it is not a drop-dead abort).
+        Raises :class:`AdmissionError` when the service is closed, the
+        queue is full, or BULK traffic is being shed.
+        """
+        now = self._clock()
+        self.stats.record_submit(now)
+        if circuit_key is None:
+            if self.keyer is None:
+                raise ServiceError(
+                    "submit() needs circuit_key= (no keyer configured)"
+                )
+            circuit_key, witness_key = self.keyer(payload)
+        deadline = None if deadline_seconds is None else now + deadline_seconds
+        ticket = Ticket(
+            self._allocate_id(),
+            priority=priority,
+            submitted_at=now,
+            deadline=deadline,
+        )
+
+        with self._cond:
+            if self._closing:
+                self.stats.record_rejection("service_closed")
+                raise AdmissionError("service_closed")
+            depth = len(self._pending)
+            self.stats.sample_queue_depth(depth)
+
+            # Cache / single-flight first: a duplicate consumes no queue
+            # slot, so overload never penalizes repeat queries.
+            cache_key = (
+                (circuit_key, witness_key) if witness_key is not None else None
+            )
+            if cache_key is not None:
+                outcome, value = self.cache.claim(cache_key, ticket)
+                if outcome == "hit":
+                    self.stats.record_cache_hit()
+                    self.stats.record_completion(
+                        self._clock() - now, missed_deadline=False
+                    )
+                    ticket._resolve(value, source="cache")
+                    self._emit(
+                        "svc_cache_hit", request_id=ticket.request_id
+                    )
+                    return ticket
+                if outcome == "joined":
+                    self.stats.record_coalesced()
+                    self._emit(
+                        "svc_coalesce", request_id=ticket.request_id
+                    )
+                    return ticket
+                self.stats.record_cache_miss()
+
+            try:
+                self._admit(depth, priority)
+            except AdmissionError:
+                if cache_key is not None:
+                    # Release the single-flight claim this leader took.
+                    self.cache.abandon(cache_key)
+                raise
+
+            request = ProofRequest(
+                request_id=ticket.request_id,
+                payload=payload,
+                circuit_key=circuit_key,
+                witness_key=witness_key,
+                priority=priority,
+                submitted_at=now,
+                deadline=deadline,
+                ticket=ticket,
+            )
+            self._pending.append(request)
+            self.stats.record_accept()
+            self._cond.notify_all()
+        self._emit(
+            "svc_submit",
+            request_id=ticket.request_id,
+            priority=priority.name,
+            queue_depth=depth + 1,
+        )
+        return ticket
+
+    def _admit(self, depth: int, priority: Priority) -> None:
+        """Watermark admission control; raises :class:`AdmissionError`."""
+        if depth >= self.max_queue:
+            self.stats.record_rejection("queue_full")
+            self._emit("svc_reject", reason="queue_full", queue_depth=depth)
+            raise AdmissionError(
+                "queue_full", f"depth {depth} >= max_queue {self.max_queue}"
+            )
+        if self._shedding and depth <= self.low_watermark:
+            self._shedding = False
+        elif not self._shedding and depth >= self.high_watermark:
+            self._shedding = True
+        if self._shedding and priority == Priority.BULK:
+            self.stats.record_rejection("bulk_shed")
+            self._emit("svc_reject", reason="bulk_shed", queue_depth=depth)
+            raise AdmissionError(
+                "bulk_shed",
+                f"depth {depth} >= high watermark {self.high_watermark}",
+            )
+
+    def _allocate_id(self) -> int:
+        with self._cond:
+            self._next_id += 1
+            return self._next_id - 1
+
+    # -- dispatch (runs on the batcher thread) --------------------------------
+
+    def _dispatch(self, batch: List[ProofRequest]) -> None:
+        """Prove one uniform batch and resolve every ticket it covers."""
+        circuit_key = batch[0].circuit_key
+        self.stats.record_batch(len(batch))
+        with self._cond:
+            self.stats.sample_queue_depth(len(self._pending))
+        self._emit(
+            "batch_form",
+            size=len(batch),
+            circuit=circuit_key.hex()[:12],
+            request_ids=[r.request_id for r in batch],
+        )
+        started = self._clock()
+        try:
+            results = self.backend.prove_batch(circuit_key, batch)
+            if len(results) != len(batch):
+                raise ProofError(
+                    f"backend returned {len(results)} results for a batch "
+                    f"of {len(batch)}"
+                )
+        except Exception as exc:
+            self._fail_batch(batch, exc)
+            return
+        now = self._clock()
+        for request, result in zip(batch, results):
+            followers = (
+                self.cache.fulfill(request.cache_key, result)
+                if request.cache_key is not None
+                else []
+            )
+            for resolved in [request.ticket] + followers:
+                missed = (
+                    resolved.deadline is not None and now > resolved.deadline
+                )
+                self.stats.record_completion(
+                    now - resolved.submitted_at, missed_deadline=missed
+                )
+                if missed:
+                    self._emit(
+                        "deadline_miss",
+                        request_id=resolved.request_id,
+                        late_seconds=now - resolved.deadline,
+                    )
+                source = "proved" if resolved is request.ticket else "coalesced"
+                resolved._resolve(result, source=source)
+        self._emit(
+            "batch_done", size=len(batch), seconds=now - started
+        )
+
+    def _fail_batch(self, batch: List[ProofRequest], exc: Exception) -> None:
+        error = ProofError(f"batch of {len(batch)} failed: {exc}")
+        error.__cause__ = exc
+        count = 0
+        for request in batch:
+            followers = (
+                self.cache.abandon(request.cache_key)
+                if request.cache_key is not None
+                else []
+            )
+            for ticket in [request.ticket] + followers:
+                ticket._fail(error)
+                count += 1
+        self.stats.record_failure(count)
+        self._emit("batch_failed", size=len(batch), reason=repr(exc))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a batch."""
+        with self._cond:
+            return len(self._pending)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no batch is in flight."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while self._pending or self._active_batches:
+                remaining = (
+                    None if deadline is None else deadline - self._clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admission; by default flush the queue before returning.
+
+        With ``drain=False`` still-pending tickets fail with
+        :class:`ServiceError` instead of being proved.
+        """
+        with self._cond:
+            if self._closing:
+                return
+            abandoned: List[ProofRequest] = []
+            if not drain:
+                abandoned = list(self._pending)
+                self._pending.clear()
+            self._closing = True
+            self._cond.notify_all()
+        for request in abandoned:
+            followers = (
+                self.cache.abandon(request.cache_key)
+                if request.cache_key is not None
+                else []
+            )
+            for ticket in [request.ticket] + followers:
+                ticket._fail(ServiceError("service closed before dispatch"))
+        if self._batcher.is_alive():
+            self._batcher.join(timeout)
+        self._emit("svc_close", drained=drain)
+        if self.trace is not None:
+            self.trace.flush()
+
+    def __enter__(self) -> "ProofService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- helpers --------------------------------------------------------------
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(event, **fields)

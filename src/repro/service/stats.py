@@ -1,0 +1,198 @@
+"""Service-level observability: what the operator of a proving farm watches.
+
+Where :class:`~repro.runtime.RuntimeStats` describes one batch run from
+the inside (worker utilization, per-task proving time), this module
+describes the *service* from the outside: how fast requests arrive, how
+deep the queue runs, what batch sizes the scheduler actually forms, how
+often the cache absorbs work, how many deadlines slip, and the
+end-to-end latency distribution a customer experiences (queueing +
+batching + proving, not proving alone).  Percentiles reuse
+:func:`repro.runtime.stats.percentile` so both layers report identically.
+
+All record methods are thread-safe; submitters, the batcher thread, and
+readers share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..runtime.stats import percentile
+
+
+class ServiceStats:
+    """Aggregate counters and distributions for one service lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Every submit() call, including rejected and cache-served ones.
+        self.submitted = 0
+        #: Requests that entered the batching queue (single-flight leaders).
+        self.accepted = 0
+        #: Typed rejections, keyed by :class:`AdmissionError` reason.
+        self.rejections: Counter = Counter()
+        #: Requests fulfilled (proved, cached, or coalesced).
+        self.completed = 0
+        #: Requests failed by a backend error.
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Duplicates parked on an identical in-flight request.
+        self.coalesced = 0
+        #: Completions that landed after their request's deadline.
+        self.deadline_misses = 0
+        #: One entry per dispatched batch.
+        self.batch_sizes: List[int] = []
+        #: Queue depth sampled at each submit and each batch formation.
+        self.queue_depth_samples: List[int] = []
+        #: End-to-end (submit → resolve) seconds per completed request.
+        self.latencies: List[float] = []
+        self._first_arrival: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+
+    # -- recording (service-internal) -----------------------------------------
+
+    def record_submit(self, now: float) -> None:
+        with self._lock:
+            self.submitted += 1
+            if self._first_arrival is None:
+                self._first_arrival = now
+            self._last_arrival = now
+
+    def record_accept(self) -> None:
+        with self._lock:
+            self.accepted += 1
+
+    def record_rejection(self, reason: str) -> None:
+        with self._lock:
+            self.rejections[reason] += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self.cache_misses += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batch_sizes.append(size)
+
+    def record_completion(self, latency_seconds: float, missed_deadline: bool) -> None:
+        with self._lock:
+            self.completed += 1
+            self.latencies.append(latency_seconds)
+            if missed_deadline:
+                self.deadline_misses += 1
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    def sample_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth_samples.append(depth)
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return sum(self.rejections.values())
+
+    @property
+    def arrival_rate_per_second(self) -> float:
+        """Mean arrival rate over the observed submission window."""
+        with self._lock:
+            if (
+                self._first_arrival is None
+                or self._last_arrival is None
+                or self.submitted < 2
+            ):
+                return 0.0
+            window = self._last_arrival - self._first_arrival
+            if window <= 0:
+                return 0.0
+            return (self.submitted - 1) / window
+
+    @property
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """``{batch size: count}`` over every dispatched batch."""
+        with self._lock:
+            return dict(Counter(self.batch_sizes))
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            if not self.batch_sizes:
+                return 0.0
+            return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache lookups that could have been served (hits+misses)."""
+        with self._lock:
+            looked_up = self.cache_hits + self.cache_misses
+            if not looked_up:
+                return 0.0
+            return self.cache_hits / looked_up
+
+    @property
+    def max_queue_depth(self) -> int:
+        with self._lock:
+            return max(self.queue_depth_samples, default=0)
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-th percentile of end-to-end request latency (seconds)."""
+        with self._lock:
+            return percentile(self.latencies, q)
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        return self.latency_percentile(99)
+
+    # -- presentation ---------------------------------------------------------
+
+    def report(self) -> str:
+        """A human-readable multi-line summary (the service dashboard)."""
+        histogram = self.batch_size_histogram
+        histo_text = (
+            ", ".join(f"{s}×{n}" for s, n in sorted(histogram.items()))
+            or "(none)"
+        )
+        rejections = (
+            ", ".join(f"{r}={n}" for r, n in sorted(self.rejections.items()))
+            or "0"
+        )
+        lines = [
+            f"submitted       : {self.submitted} "
+            f"({self.arrival_rate_per_second:.1f} req/s)",
+            f"completed       : {self.completed} ({self.failed} failed)",
+            f"rejected        : {rejections}",
+            f"cache           : {self.cache_hits} hits, "
+            f"{self.coalesced} coalesced "
+            f"(hit rate {self.cache_hit_rate * 100:.0f}%)",
+            f"batches         : {len(self.batch_sizes)} "
+            f"(mean size {self.mean_batch_size:.1f}; sizes {histo_text})",
+            f"queue depth     : max {self.max_queue_depth}",
+            f"deadline misses : {self.deadline_misses}",
+            f"latency p50     : {self.p50_latency_seconds * 1e3:.1f} ms",
+            f"latency p95     : {self.p95_latency_seconds * 1e3:.1f} ms",
+            f"latency p99     : {self.p99_latency_seconds * 1e3:.1f} ms",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Synthetic arrival traces: the shapes real proof traffic comes in.
+
+Two canonical stream shapes for exercising the service:
+
+* :func:`poisson_trace` — memoryless arrivals at a target rate, the
+  standard open-loop model of independent customers.
+* :func:`bursty_trace` — an ON/OFF process that alternates calm stretches
+  with bursts several times the base rate; the shape that breaks naive
+  fixed-size batching (queues starve, then flood).
+
+Both tag each arrival with a priority class and mark a fraction as
+*duplicates* of earlier arrivals, so a replay exercises the result
+cache and single-flight paths, not just the batcher.  :func:`replay`
+pushes a trace through a live :class:`~repro.service.ProofService`,
+absorbing typed rejections (that is the point of admission control) and
+returning every issued ticket.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import AdmissionError, ServiceError
+from .request import Priority, Ticket
+from .service import ProofService
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One synthetic arrival: when, how urgent, and what it duplicates."""
+
+    #: Seconds after the trace starts at which this request arrives.
+    offset_seconds: float
+    priority: Priority
+    #: Index of an earlier event this one repeats (None = fresh work).
+    duplicate_of: Optional[int] = None
+    #: Relative deadline for this request (None = unconstrained).
+    deadline_seconds: Optional[float] = None
+
+
+def _tag(
+    index: int,
+    offset: float,
+    rng: random.Random,
+    interactive_fraction: float,
+    duplicate_fraction: float,
+    deadline_seconds: Optional[float],
+) -> ArrivalEvent:
+    interactive = rng.random() < interactive_fraction
+    duplicate = None
+    if index > 0 and rng.random() < duplicate_fraction:
+        duplicate = rng.randrange(index)
+    return ArrivalEvent(
+        offset_seconds=offset,
+        priority=Priority.INTERACTIVE if interactive else Priority.BULK,
+        duplicate_of=duplicate,
+        deadline_seconds=deadline_seconds if interactive else None,
+    )
+
+
+def poisson_trace(
+    n: int,
+    rate_per_second: float,
+    *,
+    seed: int = 0,
+    interactive_fraction: float = 0.3,
+    duplicate_fraction: float = 0.1,
+    deadline_seconds: Optional[float] = None,
+) -> List[ArrivalEvent]:
+    """``n`` Poisson arrivals at ``rate_per_second`` (exponential gaps)."""
+    if rate_per_second <= 0:
+        raise ServiceError(
+            f"rate_per_second must be > 0, got {rate_per_second}"
+        )
+    rng = random.Random(seed)
+    events: List[ArrivalEvent] = []
+    t = 0.0
+    for i in range(n):
+        t += rng.expovariate(rate_per_second)
+        events.append(
+            _tag(i, t, rng, interactive_fraction, duplicate_fraction,
+                 deadline_seconds)
+        )
+    return events
+
+
+def bursty_trace(
+    n: int,
+    rate_per_second: float,
+    *,
+    burst_factor: float = 5.0,
+    burst_fraction: float = 0.25,
+    phase_length: int = 16,
+    seed: int = 0,
+    interactive_fraction: float = 0.3,
+    duplicate_fraction: float = 0.1,
+    deadline_seconds: Optional[float] = None,
+) -> List[ArrivalEvent]:
+    """ON/OFF arrivals: bursts at ``burst_factor ×`` the base rate.
+
+    Phases of ``phase_length`` arrivals alternate between calm and burst;
+    ``burst_fraction`` of phases are bursts.  The long-run mean rate
+    stays near ``rate_per_second``.
+    """
+    if rate_per_second <= 0:
+        raise ServiceError(
+            f"rate_per_second must be > 0, got {rate_per_second}"
+        )
+    if burst_factor < 1:
+        raise ServiceError(f"burst_factor must be >= 1, got {burst_factor}")
+    rng = random.Random(seed)
+    events: List[ArrivalEvent] = []
+    t = 0.0
+    in_burst = False
+    for i in range(n):
+        if i % phase_length == 0:
+            in_burst = rng.random() < burst_fraction
+        rate = rate_per_second * (burst_factor if in_burst else 1.0)
+        t += rng.expovariate(rate)
+        events.append(
+            _tag(i, t, rng, interactive_fraction, duplicate_fraction,
+                 deadline_seconds)
+        )
+    return events
+
+
+#: Builds the submit() arguments for a fresh (non-duplicate) arrival:
+#: ``index -> (payload, circuit_key, witness_key)``.
+RequestFactory = Callable[[int], Tuple[object, bytes, Optional[bytes]]]
+
+
+def replay(
+    service: ProofService,
+    events: List[ArrivalEvent],
+    make_request: RequestFactory,
+    *,
+    time_scale: float = 1.0,
+) -> Tuple[List[Optional[Ticket]], int]:
+    """Replay a trace against a live service in (scaled) real time.
+
+    Duplicate events resubmit the exact payload/keys of the event they
+    repeat, which is what drives cache hits and single-flight joins.
+    Rejected submissions yield ``None`` tickets (the rejection counts
+    live in ``service.stats.rejections``).  Returns ``(tickets,
+    rejected_count)``.
+    """
+    if time_scale <= 0:
+        raise ServiceError(f"time_scale must be > 0, got {time_scale}")
+    built: dict = {}
+
+    def request_for(index: int):
+        event = events[index]
+        target = index if event.duplicate_of is None else event.duplicate_of
+        if target not in built:
+            built[target] = make_request(target)
+        return built[target]
+
+    start = time.monotonic()
+    tickets: List[Optional[Ticket]] = []
+    rejected = 0
+    for i, event in enumerate(events):
+        due = start + event.offset_seconds * time_scale
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        payload, circuit_key, witness_key = request_for(i)
+        try:
+            tickets.append(
+                service.submit(
+                    payload,
+                    circuit_key=circuit_key,
+                    witness_key=witness_key,
+                    priority=event.priority,
+                    deadline_seconds=event.deadline_seconds,
+                )
+            )
+        except AdmissionError:
+            tickets.append(None)
+            rejected += 1
+    return tickets, rejected

@@ -34,6 +34,7 @@ from .tensor import QuantizedTensor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime import ParallelProvingRuntime, RuntimeStats
+    from ..service import ProofService
 
 #: Stage caps for the deep VGG pipeline: uncapped — the verifiable-CNN
 #: pipeline dedicates kernels to every layer of its much deeper module
@@ -116,10 +117,14 @@ class MlaasService:
         "flowing stream" setting of the paper's §5.  Should an input ever
         compile to a structurally different circuit, the batch degrades to
         per-input serial proving rather than producing invalid proofs.
-        The runtime's report lands in :attr:`last_runtime_stats`.
+        The runtime's report lands in :attr:`last_runtime_stats`; calls
+        that never reach the runtime (an empty batch, or the non-uniform
+        serial fallback) reset it to None so it always describes *this*
+        call, never a previous one.
         """
         from ..runtime import ParallelProvingRuntime, ProverSpec
 
+        self.last_runtime_stats = None
         circuits = [circuitize(self.model, x, self.field) for x in inputs]
         if not circuits:
             return []
@@ -178,6 +183,81 @@ class MlaasService:
         p = self.field.modulus
         claimed = [v % p for v in response.prediction]
         return verifier.verify(response.proof, claimed)
+
+    # -- streaming front door ---------------------------------------------------
+
+    def request_keys(self, x: QuantizedTensor) -> Tuple[bytes, bytes]:
+        """(circuit key, witness key) for one prediction request.
+
+        Same-shaped inputs to one committed model compile to the same
+        circuit structure, so the circuit key hashes (model root, input
+        shape, scale); the witness key additionally hashes the input
+        values, giving the cache identity "this exact question to this
+        exact model".
+        """
+        import hashlib
+
+        shape_tag = (
+            f"{x.shape}|{x.frac_bits}".encode()
+        )
+        circuit_key = hashlib.sha256(
+            b"mlaas|" + self.model_root + b"|" + shape_tag
+        ).digest()
+        witness_key = hashlib.sha256(
+            circuit_key + b"|" + str(x.values.tolist()).encode()
+        ).digest()
+        return circuit_key, witness_key
+
+    def serve(
+        self,
+        *,
+        workers: int = 1,
+        policy=None,
+        **service_kwargs,
+    ) -> "ProofService":
+        """Open a streaming front door over this model (Figure 8, online).
+
+        Returns a started :class:`~repro.service.ProofService` whose
+        payloads are input tensors and whose results are
+        :class:`PredictionResponse` objects.  The service's keyer is
+        :meth:`request_keys`, so callers submit bare tensors::
+
+            with svc.serve(policy=BatchPolicy(max_batch_size=4)) as front:
+                ticket = front.submit(x, priority=Priority.INTERACTIVE)
+                response = ticket.result(timeout=60)
+
+        Every dispatched batch is uniform by construction, so it rides
+        the shared-:class:`~repro.runtime.ProverSpec` fast path of
+        :meth:`prove_predictions` (with ``workers > 1``, across the
+        process-pool runtime).  Extra keyword arguments (``max_queue``,
+        ``cache_capacity``, ``trace``, …) pass through to
+        :class:`~repro.service.ProofService`.
+        """
+        from ..service import ProofService
+
+        return ProofService(
+            _PredictionBackend(self, workers),
+            policy=policy,
+            keyer=self.request_keys,
+            **service_kwargs,
+        )
+
+
+class _PredictionBackend:
+    """Service backend: uniform tensor batches → :class:`PredictionResponse`s.
+
+    The batcher guarantees every batch shares a circuit key, i.e. a
+    shape-uniform input set, so :meth:`MlaasService.prove_predictions`
+    takes its one-prover-setup fast path on every dispatch.
+    """
+
+    def __init__(self, service: MlaasService, workers: int = 1):
+        self.service = service
+        self.workers = workers
+
+    def prove_batch(self, circuit_key, requests) -> List[PredictionResponse]:
+        inputs = [request.payload for request in requests]
+        return self.service.prove_predictions(inputs, workers=self.workers)
 
 
 def simulate_vgg16_service(

@@ -134,6 +134,28 @@ class TestCli:
         events = [json.loads(line) for line in open(trace)]
         assert any(e["event"] == "complete" for e in events)
 
+    def test_serve_replays_a_trace(self, capsys):
+        assert cli_main([
+            "serve", "--requests", "16", "--rate", "800",
+            "--gates", "32", "--batch-size", "4", "--window", "0.005",
+            "--verify-sample", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batches" in out
+        assert "verified sample of 4: ok" in out
+
+    def test_serve_bursty_with_trace_file(self, capsys, tmp_path):
+        import json
+
+        trace = str(tmp_path / "serve.jsonl")
+        assert cli_main([
+            "serve", "--requests", "12", "--rate", "800", "--gates", "32",
+            "--pattern", "bursty", "--trace", trace, "--verify-sample", "2",
+        ]) == 0
+        events = [json.loads(line) for line in open(trace)]
+        kinds = {e["event"] for e in events}
+        assert {"svc_submit", "batch_form", "batch_done"} <= kinds
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["table99"])

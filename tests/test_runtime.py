@@ -203,6 +203,40 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([1], 101)
 
+    def test_percentile_sorts_its_input(self):
+        """The caller owes no ordering guarantee."""
+        unsorted = [9.0, 1.0, 5.0, 3.0, 7.0]
+        assert percentile(unsorted, 50) == 5.0
+        assert percentile(unsorted, 0) == 1.0
+        assert percentile(unsorted, 100) == 9.0
+        assert unsorted == [9.0, 1.0, 5.0, 3.0, 7.0]  # input untouched
+
+    def test_percentile_two_elements_interpolates(self):
+        assert percentile([3, 1], 50) == 2.0
+        assert percentile([3, 1], 25) == 1.5
+        assert percentile([3, 1], 0) == 1.0
+        assert percentile([3, 1], 100) == 3.0
+
+    def test_percentile_q_bounds_rejected(self):
+        for bad_q in (-0.001, -5, 100.001, 1000):
+            with pytest.raises(ValueError, match=r"\[0, 100\]"):
+                percentile([1, 2], bad_q)
+
+    def test_empty_run_aggregates_are_all_zero(self):
+        """A run that produced no records must report without crashing."""
+        stats = RuntimeStats()
+        assert stats.proofs_generated == 0
+        assert stats.throughput_per_second == 0.0
+        assert stats.latencies == []
+        assert stats.p50_latency_seconds == 0.0
+        assert stats.p95_latency_seconds == 0.0
+        assert stats.p99_latency_seconds == 0.0
+        assert stats.worker_utilization == 0.0
+        assert stats.max_queue_depth == 0
+        assert stats.mean_queue_depth == 0.0
+        assert stats.total_attempts == 0
+        assert "proofs          : 0" in stats.report()
+
     def test_latency_percentiles_on_known_records(self):
         stats = RuntimeStats(workers=2)
         for i, latency in enumerate([0.01 * k for k in range(1, 11)]):
@@ -261,6 +295,35 @@ class TestTrace:
         sink.emit("b")
         sink.close()
         assert sink.events_emitted == 2
+
+    def test_concurrent_emit_is_thread_safe(self, tmp_path):
+        """The batcher thread and dispatcher share one sink: lines must
+        never interleave and the counter must never drop an increment."""
+        import threading
+
+        path = str(tmp_path / "concurrent.jsonl")
+        sink = JsonlTraceSink(path)
+        threads_n, emits_n = 8, 50
+
+        def hammer(thread_id):
+            for i in range(emits_n):
+                sink.emit("tick", thread=thread_id, i=i, pad="x" * 64)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        assert sink.events_emitted == threads_n * emits_n
+        lines = open(path).read().splitlines()
+        assert len(lines) == threads_n * emits_n
+        events = [json.loads(line) for line in lines]  # every line parses
+        seen = {(e["thread"], e["i"]) for e in events}
+        assert len(seen) == threads_n * emits_n
 
 
 class TestBatchProverDelegation:

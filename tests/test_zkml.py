@@ -288,6 +288,71 @@ class TestMlaasService:
     def test_prove_predictions_empty(self, service):
         assert service.prove_predictions([]) == []
 
+    def test_empty_batch_resets_stale_runtime_stats(self, service):
+        """Regression: an empty call must not leave a previous batch's
+        stats in place masquerading as this call's report."""
+        x = random_input(service.model.input_shape, seed=31, frac_bits=4)
+        service.prove_predictions([x])
+        assert service.last_runtime_stats is not None
+        assert service.prove_predictions([]) == []
+        assert service.last_runtime_stats is None
+
+    def test_nonuniform_fallback_resets_stale_runtime_stats(
+        self, service, monkeypatch
+    ):
+        """Regression: the serial fallback never touches the runtime, so
+        it must clear, not inherit, the previous batch's stats."""
+        from repro.core.r1cs import R1CS
+
+        xs = [
+            random_input(service.model.input_shape, seed=s, frac_bits=4)
+            for s in (32, 33)
+        ]
+        service.prove_predictions([xs[0]])
+        assert service.last_runtime_stats is not None
+        # Per-object digests make every compile look structurally distinct,
+        # forcing the non-uniform serial path.  (Digests are transcript-
+        # bound, so proofs from this patched run are not verified here.)
+        monkeypatch.setattr(
+            R1CS,
+            "digest",
+            lambda self, hasher=None: id(self).to_bytes(16, "little"),
+        )
+        responses = service.prove_predictions(xs)
+        assert len(responses) == 2
+        assert all(r.proof is not None for r in responses)
+        assert service.last_runtime_stats is None
+
+    def test_serve_streams_predictions_through_proof_service(self, service):
+        """The streaming front door: uniform batches, cache reuse, and
+        customer-verifiable responses."""
+        from repro.service import BatchPolicy, Priority
+
+        xs = [
+            random_input(service.model.input_shape, seed=s, frac_bits=4)
+            for s in (41, 42)
+        ]
+        policy = BatchPolicy(max_batch_size=4, max_wait_seconds=0.02)
+        with service.serve(policy=policy, max_queue=16) as front:
+            tickets = [
+                front.submit(
+                    x, priority=Priority.INTERACTIVE, deadline_seconds=300.0
+                )
+                for x in xs
+            ]
+            duplicate = front.submit(xs[0])
+            responses = [t.result(timeout=300) for t in tickets]
+            assert duplicate.result(timeout=300).prediction == \
+                responses[0].prediction
+        assert duplicate.source in ("cache", "coalesced")
+        assert all(
+            service.verify_prediction(x, r) for x, r in zip(xs, responses)
+        )
+        assert front.stats.completed == 3
+        assert sum(front.stats.batch_size_histogram.values()) >= 1
+        # The uniform batch rode the shared-spec runtime fast path.
+        assert service.last_runtime_stats is not None
+
     def test_prove_predictions_matches_single(self, service):
         x = random_input(service.model.input_shape, seed=24, frac_bits=4)
         (batched,) = service.prove_predictions([x], workers=1)
