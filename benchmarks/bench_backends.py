@@ -1,0 +1,116 @@
+"""Execution backends: overhead of the seam, and sharded composition.
+
+Not a paper table: this measures the unified backend layer (S24) that
+every proving entry point now routes through.  Two questions an operator
+cares about before trusting a seam on the hot path:
+
+1. **Overhead** — `SerialBackend` must track inline `prover.prove` calls
+   (the abstraction may not tax the floor), and `pool:N` must keep the
+   runtime's scaling.
+2. **Composition** — `sharded:pool:N,pool:N` must beat a single child on
+   batches large enough to amortize both pools' startup.
+
+Run directly for a report:  PYTHONPATH=src python benchmarks/bench_backends.py
+Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_backends.py --quick
+"""
+
+import os
+import sys
+import time
+
+from repro.core import (
+    ProofTask,
+    SnarkProver,
+    make_pcs,
+    random_circuit,
+    verify_all,
+)
+from repro.execution import resolve_backend
+from repro.field import DEFAULT_FIELD
+from repro.runtime import ProverSpec
+
+GATES = 384
+TASKS = 48
+
+
+def _setup(gates: int = GATES, tasks: int = TASKS):
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=7)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
+    task_list = [
+        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
+    ]
+    return prover, spec, task_list
+
+
+def run_seam_overhead(tasks: int = TASKS) -> dict:
+    """Inline prover.prove loop vs the same loop behind SerialBackend."""
+    prover, spec, task_list = _setup(tasks=tasks)
+
+    inline_start = time.perf_counter()
+    inline_proofs = [
+        prover.prove(t.witness, t.public_values) for t in task_list
+    ]
+    inline_seconds = time.perf_counter() - inline_start
+
+    backend = resolve_backend("serial")
+    backend.adopt_prover(spec, prover)
+    seam_start = time.perf_counter()
+    seam_proofs, stats = backend.prove_tasks(spec, task_list)
+    seam_seconds = time.perf_counter() - seam_start
+
+    assert len(seam_proofs) == len(inline_proofs)
+    assert verify_all(spec.build_verifier(), seam_proofs, task_list)
+    return {
+        "tasks": tasks,
+        "inline_seconds": inline_seconds,
+        "seam_seconds": seam_seconds,
+        "overhead_pct": (seam_seconds / inline_seconds - 1.0) * 100.0,
+        "throughput": stats.throughput_per_second,
+    }
+
+
+def run_composition(tasks: int = TASKS, workers: int = 2) -> dict:
+    """One pool vs two concurrent pools behind the sharded backend."""
+    _, spec, task_list = _setup(tasks=tasks)
+    rows = {}
+    for selector in (
+        f"pool:{workers}",
+        f"sharded:pool:{workers},pool:{workers}",
+    ):
+        backend = resolve_backend(selector)
+        start = time.perf_counter()
+        proofs, stats = backend.prove_tasks(spec, task_list)
+        seconds = time.perf_counter() - start
+        assert verify_all(spec.build_verifier(), proofs, task_list)
+        rows[selector] = {
+            "seconds": seconds,
+            "throughput": stats.throughput_per_second,
+            "workers": stats.workers,
+        }
+    return rows
+
+
+if __name__ == "__main__":
+    cores = os.cpu_count() or 1
+    quick = "--quick" in sys.argv[1:]
+    print(f"host cores: {cores}{' (quick mode)' if quick else ''}")
+    tasks = 8 if quick else TASKS
+    workers = min(2, cores) if quick else min(4, cores)
+
+    row = run_seam_overhead(tasks=tasks)
+    print(
+        f"[seam]      {row['tasks']} tasks | inline "
+        f"{row['inline_seconds'] * 1e3:7.1f} ms | serial backend "
+        f"{row['seam_seconds'] * 1e3:7.1f} ms | overhead "
+        f"{row['overhead_pct']:+.1f}%"
+    )
+
+    rows = run_composition(tasks=tasks, workers=workers)
+    for selector, r in rows.items():
+        print(
+            f"[compose]   {selector:28s} {r['workers']} worker(s) | "
+            f"{r['seconds'] * 1e3:8.1f} ms | "
+            f"{r['throughput']:6.2f} proofs/s"
+        )

@@ -20,6 +20,7 @@ Subpackages (see DESIGN.md for the full inventory):
 ``gpu``         device catalog, cost models, the cycle simulator
 ``pipeline``    module stage graphs, the Figure 7 system
 ``runtime``     process-pool parallel proving with retries + metrics
+``execution``   unified proving backends (serial/pool/sharded), traces
 ``baselines``   NTT, MSM, Groth-like prover, vendor models
 ``zkml``        quantized CNNs, VGG-16, the MLaaS service
 ``bench``       table/figure regeneration runners

@@ -8,6 +8,7 @@ Usage::
     python -m repro all                   # everything
     python -m repro breakdown             # §6.3 speedup decomposition
     python -m repro prove --workers 4     # real proofs on the parallel runtime
+    python -m repro prove --backend sharded:pool:2,pool:2
     python -m repro serve --requests 60   # streaming service on a synthetic trace
 """
 
@@ -73,7 +74,7 @@ def _print_breakdown() -> None:
 
 
 def _run_prove(args) -> int:
-    """Generate a real proof batch on the parallel runtime and report."""
+    """Generate a real proof batch on an execution backend and report."""
     from .core import (
         ProofTask,
         SnarkProver,
@@ -81,30 +82,33 @@ def _run_prove(args) -> int:
         random_circuit,
         verify_all,
     )
+    from .execution import resolve_backend
     from .field import DEFAULT_FIELD
-    from .runtime import JsonlTraceSink, ParallelProvingRuntime, ProverSpec
+    from .runtime import JsonlTraceSink, ProverSpec
 
     cc = random_circuit(DEFAULT_FIELD, args.gates, seed=1)
     pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=8)
     prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
     tasks = [
         ProofTask(i, cc.witness, cc.public_values) for i in range(args.tasks)
     ]
     trace = JsonlTraceSink(args.trace) if args.trace else None
-    runtime = ParallelProvingRuntime(
-        ProverSpec.from_prover(prover), workers=args.workers, trace=trace
-    )
+    selector = args.backend
+    if selector is None:
+        selector = "serial" if args.workers == 1 else f"pool:{args.workers}"
+    backend = resolve_backend(selector)
     print(
-        f"Proving {args.tasks} tasks at S = {args.gates} gates with "
-        f"{runtime.workers} worker(s)…"
+        f"Proving {args.tasks} tasks at S = {args.gates} gates on "
+        f"backend {backend.name} (parallelism {backend.parallelism})…"
     )
     try:
-        proofs, stats = runtime.prove_tasks(tasks)
+        proofs, stats = backend.prove_tasks(spec, tasks, trace=trace)
     finally:
         if trace is not None:
             trace.close()
     print(stats.report())
-    ok = verify_all(ProverSpec.from_prover(prover).build_verifier(), proofs, tasks)
+    ok = verify_all(spec.build_verifier(), proofs, tasks)
     print(f"all proofs verify: {ok}")
     if args.trace:
         print(f"trace events written to {args.trace}")
@@ -157,14 +161,16 @@ def _run_serve(args) -> int:
         return task, keys[which], witness_key
 
     sink = JsonlTraceSink(args.trace) if args.trace else None
-    backend = RuntimeProofBackend.from_specs(specs, workers=args.workers)
+    backend = RuntimeProofBackend.from_specs(
+        specs, workers=args.workers, backend=args.backend
+    )
     policy = BatchPolicy(
         max_batch_size=args.batch_size, max_wait_seconds=args.window
     )
     print(
         f"Serving {args.requests} {args.pattern} arrivals at ~{args.rate}/s "
         f"(batch<= {args.batch_size}, window {args.window * 1e3:.0f} ms, "
-        f"queue<= {args.max_queue}, {args.workers} worker(s))…"
+        f"queue<= {args.max_queue}, backend {backend.backend.name})…"
     )
     service = ProofService(
         backend,
@@ -228,7 +234,15 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for `prove` (default 1 = serial)",
+        help="worker processes for `prove` / `serve` (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SELECTOR",
+        help="execution backend for `prove` / `serve`, e.g. 'serial', "
+        "'pool:4', 'sharded:pool:2,pool:2' (default: derived from "
+        "--workers)",
     )
     parser.add_argument(
         "--tasks",
@@ -291,12 +305,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment in ("prove", "serve"):
-        from .errors import ProofError, ServiceError
+        from .errors import ExecutionError, ProofError, ServiceError
 
         try:
             return _run_prove(args) if args.experiment == "prove" else \
                 _run_serve(args)
-        except (ProofError, ServiceError, OSError) as exc:
+        except (ExecutionError, ProofError, ServiceError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 

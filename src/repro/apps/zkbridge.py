@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.batch import ProofTask
 from ..core.circuit import CircuitBuilder, CompiledCircuit, compile_builder
@@ -37,7 +37,10 @@ from ..pipeline.system import BatchZkpSystem, zkp_system_graph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.proof import SnarkProof
-    from ..runtime import ParallelProvingRuntime, RuntimeStats
+    from ..execution import ProvingBackend
+    from ..runtime import ProverSpec, RuntimeStats
+
+    BackendLike = Union[str, ProvingBackend]
 
 #: Circuit scale of one cross-chain transaction proof.  zkBridge proves
 #: block-header validity (signature batches); 2^18 gates is the order of
@@ -92,6 +95,19 @@ class BridgeProver:
         #: :class:`~repro.runtime.RuntimeStats` of the most recent
         #: :meth:`prove_batch` run (None before the first batch).
         self.last_runtime_stats: Optional["RuntimeStats"] = None
+        # Cached per-circuit spec and per-worker-count execution backends
+        # (every well-formed transaction shares one circuit structure).
+        self._specs: Dict[bytes, "ProverSpec"] = {}
+        self._backends: Dict[int, "ProvingBackend"] = {}
+
+    def _execution_backend(self, workers: int) -> "ProvingBackend":
+        from ..execution import PoolBackend, SerialBackend
+
+        backend = self._backends.get(workers)
+        if backend is None:
+            backend = SerialBackend() if workers == 1 else PoolBackend(workers)
+            self._backends[workers] = backend
+        return backend
 
     def _build_circuit(self, tx: Transaction) -> CompiledCircuit:
         from ..hashing.mimc import MimcSponge
@@ -138,20 +154,23 @@ class BridgeProver:
         self,
         txs: Sequence[Transaction],
         workers: int = 1,
-        runtime: Optional["ParallelProvingRuntime"] = None,
+        backend: Optional["BackendLike"] = None,
     ) -> List[Tuple[CompiledCircuit, "SnarkProof"]]:
         """Prove a stream of transactions, optionally across worker processes.
 
         Every transaction compiles to the same circuit *structure* (only
-        the witness differs), so the batch shares one prover setup per
-        worker and shards the witnesses across the process-pool runtime —
-        the §2.1 economics in functional form: more proofs per unit time,
-        more handling fees.  A structurally divergent circuit (which a
+        the witness differs), so the batch shares one prover setup and
+        routes through the unified backend layer (:mod:`repro.execution`):
+        ``workers > 1`` shards across a process pool, and ``backend``
+        accepts any selector string or backend instance — the §2.1
+        economics in functional form: more proofs per unit time, more
+        handling fees.  A structurally divergent circuit (which a
         well-formed transaction cannot produce) degrades the batch to
-        serial per-transaction proving.  The runtime's report lands in
+        serial per-transaction proving.  The backend's report lands in
         :attr:`last_runtime_stats`.
         """
-        from ..runtime import ParallelProvingRuntime, ProverSpec
+        from ..execution import resolve_backend
+        from ..runtime import ProverSpec
 
         for tx in txs:
             if tx.amount % self.field.modulus == 0:
@@ -168,13 +187,19 @@ class BridgeProver:
         )
         if not uniform:
             return [self.prove(tx) for tx in txs]
-        if runtime is None:
+        spec = self._specs.get(reference_digest)
+        if spec is None:
             spec = ProverSpec(
                 r1cs=circuits[0].r1cs,
                 public_indices=tuple(circuits[0].public_indices),
                 num_col_checks=8,
             )
-            runtime = ParallelProvingRuntime(spec, workers=workers)
+            self._specs[reference_digest] = spec
+        resolved = (
+            self._execution_backend(workers)
+            if backend is None
+            else resolve_backend(backend)
+        )
         tasks = [
             ProofTask(
                 task_id=i,
@@ -183,7 +208,7 @@ class BridgeProver:
             )
             for i, compiled in enumerate(circuits)
         ]
-        proofs, stats = runtime.prove_tasks(tasks)
+        proofs, stats = resolved.prove_tasks(spec, tasks)
         self.last_runtime_stats = stats
         return list(zip(circuits, proofs))
 

@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.gpu",
     "repro.pipeline",
     "repro.runtime",
+    "repro.execution",
     "repro.service",
     "repro.baselines",
     "repro.zkml",

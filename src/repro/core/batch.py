@@ -16,17 +16,28 @@ than merged with the previous run's.  :meth:`~BatchProver.prove_all`
 returns an immutable-by-convention *snapshot* that later runs do not
 touch.
 
-With ``workers > 1`` the batch is delegated to the process-pool
-:class:`~repro.runtime.ParallelProvingRuntime`, which shards tasks across
-CPU cores; the richer per-run report (percentile latencies, retries,
-utilization) then lands in :attr:`BatchProver.last_runtime_stats`.
+Execution is delegated to the unified backend layer
+(:mod:`repro.execution`): ``workers > 1`` selects the process-pool
+backend, and any :class:`~repro.execution.ProvingBackend` — or selector
+string like ``"sharded:pool:4,pool:4"`` — can be passed explicitly; the
+richer per-run report (percentile latencies, retries, utilization) then
+lands in :attr:`BatchProver.last_runtime_stats`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import ProofError
 from .proof import SnarkProof
@@ -34,7 +45,10 @@ from .prover import SnarkProver
 from .verifier import SnarkVerifier
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..execution import ProvingBackend
     from ..runtime.stats import RuntimeStats
+
+    BackendLike = Union[str, ProvingBackend]
 
 
 @dataclass(frozen=True)
@@ -92,32 +106,51 @@ class BatchProver:
         prover:  The fixed-instance SNARK prover.
         workers: Default worker count for :meth:`prove_all`; ``1`` proves
                  inline, ``> 1`` shards across a process pool.
+        backend: Default execution backend — a selector string
+                 (``"serial"``, ``"pool:8"``, ``"sharded:pool:4,pool:4"``)
+                 or a :class:`~repro.execution.ProvingBackend` instance.
+                 When given, it wins over ``workers``.
     """
 
-    def __init__(self, prover: SnarkProver, workers: int = 1):
+    def __init__(
+        self,
+        prover: SnarkProver,
+        workers: int = 1,
+        backend: Optional["BackendLike"] = None,
+    ):
         self.prover = prover
         self.workers = workers
+        self.backend = backend
         self.stats = BatchStats()
         #: The :class:`~repro.runtime.RuntimeStats` of the most recent
-        #: parallel run (None until a ``workers > 1`` batch completes).
+        #: backend-routed run (None until a parallel or explicit-backend
+        #: batch completes).
         self.last_runtime_stats: Optional["RuntimeStats"] = None
+        self._spec = None  # lazy ProverSpec, derived once per prover
 
     def prove_all(
         self,
         tasks: Sequence[ProofTask],
         workers: Optional[int] = None,
+        backend: Optional["BackendLike"] = None,
     ) -> Tuple[List[SnarkProof], BatchStats]:
         """Prove every task; returns the proofs and this run's statistics.
 
-        ``workers`` overrides the constructor default for this call only.
+        ``workers`` / ``backend`` override the constructor defaults for
+        this call only; an explicit ``backend`` wins over ``workers``.
         The returned stats object is a snapshot: later runs reset
         ``self.stats`` in place but never mutate a returned snapshot.
         """
         tasks = list(tasks)
+        effective_backend = backend if backend is not None else self.backend
         effective_workers = self.workers if workers is None else workers
         self.stats.reset()
-        if effective_workers > 1 and len(tasks) > 1:
-            proofs = self._prove_all_parallel(tasks, effective_workers)
+        if effective_backend is not None:
+            proofs = self._prove_all_backend(tasks, effective_backend)
+        elif effective_workers > 1 and len(tasks) > 1:
+            proofs = self._prove_all_backend(
+                tasks, f"pool:{effective_workers}"
+            )
         else:
             proofs = self._prove_all_serial(tasks)
         return proofs, self.stats.snapshot()
@@ -133,15 +166,19 @@ class BatchProver:
         self.stats.proofs_generated = len(proofs)
         return proofs
 
-    def _prove_all_parallel(
-        self, tasks: Sequence[ProofTask], workers: int
+    def _prove_all_backend(
+        self, tasks: Sequence[ProofTask], backend: "BackendLike"
     ) -> List[SnarkProof]:
-        from ..runtime import ParallelProvingRuntime, ProverSpec
+        from ..execution import SerialBackend, resolve_backend
+        from ..runtime import ProverSpec
 
-        runtime = ParallelProvingRuntime(
-            ProverSpec.from_prover(self.prover), workers=workers
-        )
-        proofs, runtime_stats = runtime.prove_tasks(tasks)
+        resolved = resolve_backend(backend)
+        if self._spec is None:
+            self._spec = ProverSpec.from_prover(self.prover)
+        if isinstance(resolved, SerialBackend):
+            # Reuse the live prover instead of rebuilding it from the spec.
+            resolved.adopt_prover(self._spec, self.prover)
+        proofs, runtime_stats = resolved.prove_tasks(self._spec, tasks)
         self.last_runtime_stats = runtime_stats
         self.stats.proofs_generated = len(proofs)
         self.stats.total_seconds = runtime_stats.total_seconds

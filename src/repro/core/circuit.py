@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import CircuitError
 from ..field.prime_field import PrimeField
-from .r1cs import R1CS, SparseRow, next_power_of_two
+from .r1cs import R1CS, SparseRow
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ domains); index 0 of the witness vector is pinned to the constant 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..errors import CircuitError
 from ..field.multilinear import eq_table

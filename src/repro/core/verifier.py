@@ -13,7 +13,6 @@ from typing import List, Optional, Sequence
 from ..commitment.brakedown import BrakedownPCS
 from ..errors import CommitmentError, SumcheckError
 from ..field.multilinear import eq_eval
-from ..field.prime_field import PrimeField
 from ..hashing.transcript import Transcript
 from ..sumcheck.prover import evaluation_point
 from ..sumcheck.verifier import verify_product_rounds

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import EncodingError
-from .sparse import SparseMatrix
 from .spielman import SpielmanEncoder
 
 

@@ -78,6 +78,10 @@ class ZkmlError(ReproError):
     """Verifiable-ML application failure."""
 
 
+class ExecutionError(ReproError):
+    """Proving-backend misconfiguration (unknown selector, bad composition)."""
+
+
 class ServiceError(ReproError):
     """Streaming proof-service failure (submission, lifecycle, tickets)."""
 

@@ -1,0 +1,87 @@
+"""Unified execution layer (system S24 in DESIGN.md).
+
+BatchZK's system half is a scheduling discipline: proof tasks flow
+through interchangeable execution resources.  This package is that seam
+for the functional half — one :class:`ProvingBackend` abstraction
+(``prove_tasks(spec, tasks) -> (proofs, RuntimeStats)``) behind which
+every proving entry point in the repository runs, with three stock
+substrates (:class:`SerialBackend`, the process-pool
+:class:`PoolBackend`, the composable :class:`ShardedBackend`), a string
+registry (:func:`resolve_backend` understands ``"serial"``,
+``"pool:8"``, ``"sharded:pool:4,pool:4"``) so CLIs, benches, and
+services select substrates by name, and the replay side of the
+correlated trace schema (:func:`request_lineage` rebuilds a request's
+service → batch → backend → task span tree from one JSONL file).
+
+The rate-proportional shard arithmetic
+(:func:`largest_remainder_shares`) is shared with the multi-GPU farm
+simulator, so the functional and simulated halves place work
+identically for identical rates.
+"""
+
+from .backend import (
+    PoolBackend,
+    ProvingBackend,
+    SerialBackend,
+    ShardedBackend,
+)
+from .registry import (
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from .sharding import largest_remainder_shares
+from .trace import (
+    RequestLineage,
+    SpanNode,
+    format_lineage,
+    lineage_of,
+    load_trace,
+    request_lineage,
+    span_index,
+)
+
+__apidoc__ = """\
+**The backend contract.** A backend executes one uniform batch:
+`prove_tasks(spec, tasks)` takes a picklable
+`ProverSpec` (the circuit recipe — per-spec setup is cached inside the
+backend, paid once per backend lifetime) and a list of `ProofTask`s, and
+returns the proofs in task order plus a `RuntimeStats` report.  Optional
+`trace=`/`parent=` keywords join the run to a correlated trace; both
+default to the ambient span, so backends dispatched from inside the
+proof service inherit the service's sink and batch span automatically.
+
+**Selector strings.** `resolve_backend("serial")` proves inline;
+`"pool"`/`"pool:8"` shard across a process pool;
+`"sharded:pool:4,pool:4"` splits each batch across concurrent children
+proportionally to their parallelism (largest-remainder rounding — the
+same placement arithmetic as the multi-GPU farm simulator).  Instances
+pass through unchanged, and `register_backend("gpu", factory)` adds new
+selector heads.
+
+**Correlated traces.** Every event in a shared JSONL sink carries
+`span`, `parent`, and `kind` (`service` | `request` | `batch` |
+`backend` | `task`).  `request_lineage(events, request_id)` (or
+`lineage_of(path, id)`) reconstructs one request's full lifecycle —
+which batch it rode, which backend run proved it, which task span timed
+it — from that single file; `format_lineage` renders the chain for a
+terminal.
+"""
+
+__all__ = [
+    "PoolBackend",
+    "ProvingBackend",
+    "RequestLineage",
+    "SerialBackend",
+    "ShardedBackend",
+    "SpanNode",
+    "available_backends",
+    "format_lineage",
+    "largest_remainder_shares",
+    "lineage_of",
+    "load_trace",
+    "register_backend",
+    "request_lineage",
+    "resolve_backend",
+    "span_index",
+]

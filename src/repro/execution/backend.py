@@ -1,0 +1,337 @@
+"""The unified proving-backend abstraction (S24).
+
+Every proving entry point in the repository — ``BatchProver``, the MLaaS
+service, the zkBridge prover, the streaming ``ProofService``, the CLI —
+reduces a workload to the same shape: *a picklable prover recipe plus a
+list of independent tasks*.  A :class:`ProvingBackend` is anything that
+executes that shape::
+
+    proofs, stats = backend.prove_tasks(spec, tasks)
+
+with proofs in task order and a :class:`~repro.runtime.RuntimeStats`
+report.  Three concrete substrates ship here:
+
+* :class:`SerialBackend` — in-process, one cached prover per spec; the
+  zero-overhead floor every other backend must beat.
+* :class:`PoolBackend` — the process-pool
+  :class:`~repro.runtime.ParallelProvingRuntime` (chunked dispatch,
+  retries, timeouts), one cached runtime per spec.
+* :class:`ShardedBackend` — splits a batch across child backends with
+  the same rate-proportional largest-remainder arithmetic the GPU-farm
+  simulator uses, runs the shards concurrently, and merges their
+  reports.  Backends compose: a shard's child may itself be sharded.
+
+All three stamp their trace events with the shared correlated schema
+(``span`` / ``parent`` / ``kind``; see :mod:`repro.runtime.trace`), so a
+backend dispatched from inside a service batch appears as a ``backend``
+span under that batch's span in one JSONL file.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..core.batch import ProofTask
+from ..core.proof import SnarkProof
+from ..errors import ExecutionError
+from ..runtime.pool import ParallelProvingRuntime
+from ..runtime.spec import ProverSpec
+from ..runtime.stats import RuntimeStats, TaskRecord, merge_runtime_stats
+from ..runtime.trace import JsonlTraceSink, SpanContext, ambient_span
+
+
+@runtime_checkable
+class ProvingBackend(Protocol):
+    """Structural interface of an execution substrate for proof batches.
+
+    ``name`` is the registry spelling (``"serial"``, ``"pool:8"``, …);
+    ``parallelism`` is the nominal concurrent capacity, used as the
+    default sharding weight when backends compose.
+    """
+
+    name: str
+    parallelism: int
+
+    def prove_tasks(
+        self,
+        spec: ProverSpec,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        """Prove every task (proofs in task order) and report the run."""
+        ...  # pragma: no cover - protocol stub
+
+
+def _span_for(
+    trace: Optional[JsonlTraceSink], parent: Optional[str]
+) -> SpanContext:
+    """The backend span for one run, falling back to the ambient span.
+
+    Explicit arguments win; when the caller passed neither, the ambient
+    span set by an enclosing layer (e.g. the proof service around a
+    batch dispatch) supplies the sink and the parent id.
+    """
+    ambient = ambient_span()
+    if ambient is not None:
+        if trace is None:
+            trace = ambient.sink
+        if parent is None:
+            parent = ambient.span
+    return SpanContext(trace, "backend", parent=parent)
+
+
+class _PerSpecCache:
+    """Identity-keyed cache of one derived object per :class:`ProverSpec`.
+
+    Keyed by object identity (with a strong reference held, so ids are
+    never recycled underneath us): the long-lived callers — the service
+    backend, a CLI run, the benches — pass the same spec instance for
+    every batch of a circuit, which makes the expensive per-spec setup
+    (expander generation, digesting) a one-time cost per backend.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[ProverSpec, Any]] = {}
+
+    def get_or_build(self, spec: ProverSpec, build) -> Any:
+        entry = self._entries.get(id(spec))
+        if entry is not None and entry[0] is spec:
+            return entry[1]
+        value = build(spec)
+        self._entries[id(spec)] = (spec, value)
+        return value
+
+
+class SerialBackend:
+    """In-process serial execution: the floor, and the reference oracle.
+
+    No pool, no IPC, no retries — each task is proved inline on the
+    calling thread with a prover cached per spec.  Every other backend's
+    proofs must be byte-identical to this one's (the parity property the
+    execution tests pin down).
+    """
+
+    name = "serial"
+    parallelism = 1
+
+    def __init__(self) -> None:
+        self._provers = _PerSpecCache()
+
+    def adopt_prover(self, spec: ProverSpec, prover) -> None:
+        """Seed the cache with an already-built prover for ``spec``.
+
+        Lets a caller that owns a live prover (e.g. ``BatchProver``)
+        route through the backend seam without paying a rebuild.
+        """
+        self._provers._entries[id(spec)] = (spec, prover)
+
+    def prove_tasks(
+        self,
+        spec: ProverSpec,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        tasks = list(tasks)
+        ctx = _span_for(trace, parent)
+        prover = self._provers.get_or_build(spec, lambda s: s.build_prover())
+        stats = RuntimeStats(workers=1)
+        start = time.perf_counter()
+        ctx.emit("run_start", backend=self.name, tasks=len(tasks), workers=1)
+        proofs: List[SnarkProof] = []
+        for task in tasks:
+            t0 = time.perf_counter()
+            proof = prover.prove(task.witness, task.public_values)
+            prove_seconds = time.perf_counter() - t0
+            stats.busy_seconds += prove_seconds
+            stats.records.append(
+                TaskRecord(
+                    task_id=task.task_id,
+                    attempts=1,
+                    prove_seconds=prove_seconds,
+                    latency_seconds=prove_seconds,
+                    worker=None,
+                )
+            )
+            ctx.child("task", span=f"{ctx.span}/t{task.task_id}").emit(
+                "complete", task_id=task.task_id, attempt=1,
+                seconds=prove_seconds,
+            )
+            proofs.append(proof)
+        stats.total_seconds = time.perf_counter() - start
+        ctx.emit(
+            "run_end", proofs=len(proofs), retries=0,
+            seconds=stats.total_seconds,
+        )
+        if ctx.sink is not None:
+            ctx.sink.flush()
+        return proofs, stats
+
+
+class PoolBackend:
+    """Process-pool execution on :class:`ParallelProvingRuntime`.
+
+    One runtime (and therefore one per-worker prover setup recipe) is
+    cached per spec; retries, per-task timeouts, chunking, and the
+    bounded in-flight window are the runtime's, configured through
+    ``runtime_options``.
+
+    Args:
+        workers:         Pool size; ``None`` → ``os.cpu_count()``.
+        runtime_options: Extra keyword arguments forwarded to
+                         :class:`ParallelProvingRuntime`
+                         (``chunk_size``, ``max_retries``, …).
+    """
+
+    def __init__(self, workers: Optional[int] = None, **runtime_options):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.parallelism = workers
+        self.name = f"pool:{workers}"
+        self.runtime_options = dict(runtime_options)
+        self._runtimes = _PerSpecCache()
+
+    def prove_tasks(
+        self,
+        spec: ProverSpec,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        runtime: ParallelProvingRuntime = self._runtimes.get_or_build(
+            spec,
+            lambda s: ParallelProvingRuntime(
+                s, workers=self.workers, **self.runtime_options
+            ),
+        )
+        return runtime.prove_tasks(tasks, trace=trace, parent=parent)
+
+
+class ShardedBackend:
+    """Composite execution: split one batch across child backends.
+
+    The shard sizes are proportional to each child's weight (its
+    ``parallelism`` by default) via the same largest-remainder rounding
+    the multi-GPU farm simulator uses, so a ``sharded:pool:4,pool:4``
+    backend places tasks exactly as a two-device farm with equal rates
+    would.  Shards run concurrently on threads (each child does its own
+    process-level parallelism; the threads only wait), proofs come back
+    in input order, and the merged :class:`RuntimeStats` reports the
+    combined worker count against the sharded wall-clock envelope.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[ProvingBackend],
+        weights: Optional[Sequence[float]] = None,
+    ):
+        children = list(children)
+        if not children:
+            raise ExecutionError("ShardedBackend needs at least one child")
+        if weights is None:
+            weights = [
+                float(max(1, getattr(child, "parallelism", 1)))
+                for child in children
+            ]
+        weights = [float(w) for w in weights]
+        if len(weights) != len(children):
+            raise ExecutionError(
+                f"{len(weights)} weights for {len(children)} children"
+            )
+        if any(w < 0 for w in weights):
+            raise ExecutionError(f"weights must be non-negative: {weights}")
+        self.children = children
+        self.weights = weights
+        self.parallelism = sum(
+            max(1, getattr(child, "parallelism", 1)) for child in children
+        )
+        self.name = "sharded:" + ",".join(child.name for child in children)
+
+    def shard(self, n_tasks: int) -> List[int]:
+        """Per-child task counts for a batch of ``n_tasks``."""
+        from .sharding import largest_remainder_shares
+
+        if n_tasks == 0:
+            return [0] * len(self.children)
+        return largest_remainder_shares(n_tasks, self.weights)
+
+    def prove_tasks(
+        self,
+        spec: ProverSpec,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        tasks = list(tasks)
+        ctx = _span_for(trace, parent)
+        shares = self.shard(len(tasks))
+        bounds: List[Tuple[int, int]] = []
+        lo = 0
+        for share in shares:
+            bounds.append((lo, lo + share))
+            lo += share
+        start = time.perf_counter()
+        ctx.emit(
+            "shard_start", backend=self.name, tasks=len(tasks), shares=shares,
+        )
+        proofs: List[Optional[SnarkProof]] = [None] * len(tasks)
+        part_stats: List[RuntimeStats] = []
+        active = [
+            (index, self.children[index], span)
+            for index, span in enumerate(bounds)
+            if span[1] > span[0]
+        ]
+
+        def run_shard(child: ProvingBackend, lo: int, hi: int):
+            # Children receive the sink and parent explicitly — ambient
+            # context is thread-local and does not cross into the pool.
+            return child.prove_tasks(
+                spec, tasks[lo:hi], trace=ctx.sink, parent=ctx.span
+            )
+
+        if not active:
+            outcomes: List[Tuple[List[SnarkProof], RuntimeStats]] = []
+        elif len(active) == 1:
+            _, child, (s_lo, s_hi) = active[0]
+            outcomes = [run_shard(child, s_lo, s_hi)]
+        else:
+            with ThreadPoolExecutor(max_workers=len(active)) as pool:
+                futures = [
+                    pool.submit(run_shard, child, s_lo, s_hi)
+                    for _, child, (s_lo, s_hi) in active
+                ]
+                outcomes = [future.result() for future in futures]
+        for (_, _, (s_lo, s_hi)), (shard_proofs, shard_stats) in zip(
+            active, outcomes
+        ):
+            proofs[s_lo:s_hi] = shard_proofs
+            part_stats.append(shard_stats)
+        stats = merge_runtime_stats(
+            part_stats, total_seconds=time.perf_counter() - start
+        )
+        ctx.emit(
+            "shard_end", proofs=len(tasks), seconds=stats.total_seconds,
+        )
+        if ctx.sink is not None:
+            ctx.sink.flush()
+        return proofs, stats  # type: ignore[return-value]

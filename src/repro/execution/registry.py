@@ -1,0 +1,122 @@
+"""String registry: select an execution backend by name.
+
+The CLI, the benches, and the services all accept a backend *selector*
+string so operators choose the execution substrate without touching
+code::
+
+    serial                      in-process, one cached prover
+    pool                        process pool sized to the host
+    pool:8                      process pool, 8 workers
+    sharded:pool:4,pool:4       two concurrent 4-worker pools
+    sharded:pool:4,serial       heterogeneous children (weights default
+                                to each child's parallelism)
+
+:func:`resolve_backend` also passes through an already-constructed
+:class:`~repro.execution.ProvingBackend` unchanged, so programmatic
+callers and string-driven callers share one code path.  New substrates
+plug in through :func:`register_backend` — the extension point the
+multi-backend scaling items on the roadmap build on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from ..errors import ExecutionError
+from .backend import PoolBackend, ProvingBackend, SerialBackend, ShardedBackend
+
+#: Factories keyed by selector head; each receives the text after the
+#: first ``:`` (possibly empty) and returns a backend.
+_FACTORIES: Dict[str, Callable[[str], ProvingBackend]] = {}
+
+BackendSelector = Union[str, ProvingBackend]
+
+
+def register_backend(
+    head: str, factory: Callable[[str], ProvingBackend]
+) -> None:
+    """Register a selector head (e.g. ``"gpu"``) for :func:`resolve_backend`.
+
+    ``factory`` receives the selector's argument text — everything after
+    the first ``:``, which is empty when no argument was given.
+    """
+    key = head.strip().lower()
+    if not key:
+        raise ExecutionError("backend selector head must be non-empty")
+    _FACTORIES[key] = factory
+
+
+def available_backends() -> List[str]:
+    """The registered selector heads, sorted (for CLI help and errors)."""
+    return sorted(_FACTORIES)
+
+
+def resolve_backend(selector: BackendSelector) -> ProvingBackend:
+    """Turn a selector string (or a backend instance) into a backend.
+
+    >>> resolve_backend("pool:2").name
+    'pool:2'
+    >>> resolve_backend("sharded:pool:2,serial").parallelism
+    3
+    """
+    if not isinstance(selector, str):
+        if isinstance(selector, ProvingBackend):
+            return selector
+        raise ExecutionError(
+            f"backend selector must be a string or ProvingBackend, "
+            f"got {type(selector).__name__}"
+        )
+    text = selector.strip()
+    if not text:
+        raise ExecutionError("empty backend selector")
+    head, _, rest = text.partition(":")
+    factory = _FACTORIES.get(head.strip().lower())
+    if factory is None:
+        raise ExecutionError(
+            f"unknown backend {head!r}; available: "
+            + ", ".join(available_backends())
+        )
+    return factory(rest.strip())
+
+
+# -- stock factories -----------------------------------------------------------
+
+
+def _make_serial(rest: str) -> SerialBackend:
+    if rest:
+        raise ExecutionError(f"'serial' takes no argument, got {rest!r}")
+    return SerialBackend()
+
+
+def _make_pool(rest: str) -> PoolBackend:
+    if not rest:
+        return PoolBackend()
+    try:
+        workers = int(rest)
+    except ValueError:
+        raise ExecutionError(
+            f"'pool' wants an integer worker count, got {rest!r}"
+        ) from None
+    return PoolBackend(workers)
+
+
+def _make_sharded(rest: str) -> ShardedBackend:
+    if not rest:
+        raise ExecutionError(
+            "'sharded' needs comma-separated children, e.g. "
+            "'sharded:pool:4,pool:4'"
+        )
+    parts = [part.strip() for part in rest.split(",")]
+    if any(not part for part in parts):
+        raise ExecutionError(f"empty child in sharded selector {rest!r}")
+    if any(part.split(":", 1)[0].lower() == "sharded" for part in parts):
+        raise ExecutionError(
+            "nested 'sharded' selectors are not expressible in the flat "
+            "string form; compose ShardedBackend instances directly"
+        )
+    return ShardedBackend([resolve_backend(part) for part in parts])
+
+
+register_backend("serial", _make_serial)
+register_backend("pool", _make_pool)
+register_backend("sharded", _make_sharded)

@@ -21,7 +21,7 @@ Flow:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..commitment.brakedown import BrakedownPCS, Commitment, EvalProof
 from ..errors import CircuitError, SumcheckError

@@ -25,10 +25,10 @@ commitment (private inputs) is exactly what the core SNARK does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from ..errors import SumcheckError, VerificationError
+from ..errors import SumcheckError
 from ..field.multilinear import eq_table
 from ..field.prime_field import PrimeField
 from ..hashing.transcript import Transcript

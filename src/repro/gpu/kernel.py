@@ -18,7 +18,7 @@ thread carries the same number of work units per beat.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..errors import SimulationError
 

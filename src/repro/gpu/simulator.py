@@ -27,7 +27,6 @@ from ..errors import SimulationError
 from .costs import CpuCostModel, GpuCostModel
 from .device import CpuSpec, GpuSpec
 from .kernel import (
-    KernelStage,
     ModuleGraph,
     allocate_threads_proportional,
 )

@@ -29,7 +29,7 @@ from ..errors import PipelineError
 from ..gpu.costs import GpuCostModel
 from ..gpu.device import GpuSpec
 from ..gpu.kernel import KernelStage, ModuleGraph
-from ..gpu.simulator import SimResult, run_naive, run_pipelined
+from ..gpu.simulator import run_naive, run_pipelined
 
 
 class FusedStage(KernelStage):

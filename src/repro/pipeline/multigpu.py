@@ -10,12 +10,13 @@ efficiency accounting, both implemented here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import PipelineError
+from ..execution.sharding import largest_remainder_shares
 from ..gpu.costs import GpuCostModel
-from ..gpu.device import GpuSpec, get_gpu
+from ..gpu.device import GpuSpec
 from .system import BatchZkpSystem, SystemResult
 
 
@@ -123,29 +124,17 @@ class MultiGpuBatchSystem:
     def shard(self, batch_size: int) -> List[int]:
         """Split a batch proportionally to device throughput.
 
-        Largest-remainder rounding: floors first, then each leftover task
-        goes to the device with the largest fractional share (ties broken
-        toward earlier devices), so shares always sum to ``batch_size``
-        and no device is more than one task above its exact proportion.
+        Largest-remainder rounding via the shared
+        :func:`~repro.execution.sharding.largest_remainder_shares` (the
+        same arithmetic the functional
+        :class:`~repro.execution.ShardedBackend` uses): shares always sum
+        to ``batch_size``, no device lands more than one task above its
+        exact proportion, and an all-zero rate vector (degenerate cost
+        model) falls back to an even split.
         """
         if batch_size < 1:
             raise PipelineError("batch_size must be positive")
-        rates = self._device_rates()
-        total_rate = sum(rates)
-        if total_rate <= 0:
-            # Degenerate cost model (all devices rated zero): fall back to
-            # an even split rather than dividing by zero.
-            rates = [1.0] * len(rates)
-            total_rate = float(len(rates))
-        raw = [batch_size * r / total_rate for r in rates]
-        shares = [int(x) for x in raw]
-        remainder = batch_size - sum(shares)
-        order = sorted(
-            range(len(raw)), key=lambda i: raw[i] - int(raw[i]), reverse=True
-        )
-        for i in range(remainder):
-            shares[order[i % len(order)]] += 1
-        return shares
+        return largest_remainder_shares(batch_size, self._device_rates())
 
     def simulate(
         self, batch_size: int, multi_stream: bool = True

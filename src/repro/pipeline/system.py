@@ -25,14 +25,14 @@ GH200 breakdown gives ≈ 35:12:81 — we calibrate to the measured table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..errors import PipelineError
 from ..gpu.costs import GpuCostModel
 from ..gpu.device import GpuSpec, get_gpu
 from ..gpu.kernel import KernelStage, ModuleGraph, allocate_threads_proportional
 from ..gpu.simulator import SimResult, run_pipelined
-from .stages import FIELD_BYTES, encoder_graph, merkle_graph, sumcheck_graph
+from .stages import encoder_graph, merkle_graph, sumcheck_graph
 
 #: Calibrated per-gate workloads (see module docstring).
 HASHES_PER_GATE = 7.17

@@ -13,14 +13,25 @@ the paper's §2.1 proving business would watch.
 
 from .pool import ParallelProvingRuntime
 from .spec import ProverSpec
-from .stats import RuntimeStats, TaskRecord, percentile
-from .trace import JsonlTraceSink
+from .stats import RuntimeStats, TaskRecord, merge_runtime_stats, percentile
+from .trace import (
+    JsonlTraceSink,
+    SpanContext,
+    ambient_span,
+    new_span_id,
+    use_span,
+)
 
 __all__ = [
     "ParallelProvingRuntime",
     "ProverSpec",
     "RuntimeStats",
+    "SpanContext",
     "TaskRecord",
+    "ambient_span",
+    "merge_runtime_stats",
+    "new_span_id",
     "percentile",
+    "use_span",
     "JsonlTraceSink",
 ]

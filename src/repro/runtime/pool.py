@@ -41,7 +41,7 @@ from ..core.prover import SnarkProver
 from ..errors import ProofError
 from .spec import ProverSpec
 from .stats import RuntimeStats, TaskRecord
-from .trace import JsonlTraceSink
+from .trace import JsonlTraceSink, SpanContext, ambient_span
 
 FaultInjector = Callable[[int, int], None]
 
@@ -153,21 +153,49 @@ class ParallelProvingRuntime:
         self.trace = trace
         self.fault_injector = fault_injector
         self.poll_interval_seconds = poll_interval_seconds
+        #: Lazily built prover for the serial path, reused across runs so
+        #: a long-lived ``workers=1`` runtime pays the R1CS/PCS setup once.
+        self._serial_prover: Optional[SnarkProver] = None
+        #: Span context of the run in progress (one run at a time).
+        self._ctx = SpanContext(None, "backend")
 
     # -- public API -----------------------------------------------------------
 
     def prove_tasks(
-        self, tasks: Sequence[ProofTask]
+        self,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
     ) -> Tuple[List[SnarkProof], RuntimeStats]:
         """Prove every task; proofs are returned in input order.
 
         Raises :class:`ProofError` once any task exhausts its retry
         budget (``1 + max_retries`` attempts, counting timeouts).
+
+        ``trace`` overrides the constructor sink for this run; ``parent``
+        is the enclosing span id for correlated telemetry.  Both default
+        to the ambient span (see :func:`~repro.runtime.trace.use_span`)
+        when one is set, so a service dispatching through intermediate
+        layers still produces one connected span tree.
         """
         tasks = list(tasks)
+        sink = trace if trace is not None else self.trace
+        ambient = ambient_span()
+        if ambient is not None:
+            if sink is None:
+                sink = ambient.sink
+            if parent is None:
+                parent = ambient.span
+        self._ctx = SpanContext(sink, "backend", parent=parent)
         stats = RuntimeStats(workers=self.workers)
         start = time.perf_counter()
-        self._emit("run_start", tasks=len(tasks), workers=self.workers)
+        self._emit(
+            "run_start",
+            backend=f"pool:{self.workers}",
+            tasks=len(tasks),
+            workers=self.workers,
+        )
         try:
             if self.workers == 1 or len(tasks) <= 1:
                 stats.workers = 1
@@ -182,8 +210,8 @@ class ParallelProvingRuntime:
                 retries=stats.retries,
                 seconds=stats.total_seconds,
             )
-            if self.trace is not None:
-                self.trace.flush()
+            if sink is not None:
+                sink.flush()
         return proofs, stats
 
     # -- serial path ----------------------------------------------------------
@@ -197,7 +225,9 @@ class ParallelProvingRuntime:
         flaky dependency injected under test behaves identically at
         either worker count.
         """
-        prover = self.spec.build_prover()
+        prover = self._serial_prover
+        if prover is None:
+            prover = self._serial_prover = self.spec.build_prover()
         proofs: List[SnarkProof] = []
         for task in tasks:
             submitted = time.perf_counter()
@@ -217,8 +247,8 @@ class ParallelProvingRuntime:
                             f"attempts: {exc}"
                         ) from exc
                     stats.retries += 1
-                    self._emit(
-                        "retry", task_id=task.task_id, attempt=attempt,
+                    self._emit_task(
+                        "retry", task.task_id, attempt=attempt,
                         reason=repr(exc),
                     )
                     time.sleep(self._backoff(attempt))
@@ -230,8 +260,8 @@ class ParallelProvingRuntime:
                 # Serial mode cannot preempt a running prove; record the
                 # overrun so operators still see the budget violation.
                 stats.timeouts += 1
-                self._emit(
-                    "timeout", task_id=task.task_id, seconds=prove_seconds
+                self._emit_task(
+                    "timeout", task.task_id, seconds=prove_seconds
                 )
             stats.busy_seconds += prove_seconds
             stats.records.append(
@@ -243,8 +273,8 @@ class ParallelProvingRuntime:
                     worker=None,
                 )
             )
-            self._emit(
-                "complete", task_id=task.task_id, attempt=attempt,
+            self._emit_task(
+                "complete", task.task_id, attempt=attempt,
                 seconds=prove_seconds,
             )
             proofs.append(proof)
@@ -322,8 +352,8 @@ class ParallelProvingRuntime:
                         f"attempts: {reason}"
                     )
                 stats.retries += 1
-                self._emit(
-                    "retry", task_id=tasks[index].task_id, attempt=attempt,
+                self._emit_task(
+                    "retry", tasks[index].task_id, attempt=attempt,
                     reason=reason,
                 )
                 delayed.append(
@@ -398,8 +428,8 @@ class ParallelProvingRuntime:
                         results[index] = (proof, record)
                         stats.busy_seconds += prove_seconds
                         stats.records.append(record)
-                        self._emit(
-                            "complete", task_id=record.task_id,
+                        self._emit_task(
+                            "complete", record.task_id,
                             attempt=record.attempts, seconds=prove_seconds,
                             worker=pid,
                         )
@@ -428,5 +458,16 @@ class ParallelProvingRuntime:
         return self.retry_backoff_seconds * (2 ** (attempt - 1))
 
     def _emit(self, event: str, **fields) -> None:
-        if self.trace is not None:
-            self.trace.emit(event, **fields)
+        """A run-level event on this run's backend span."""
+        self._ctx.emit(event, **fields)
+
+    def _emit_task(self, event: str, task_id: int, **fields) -> None:
+        """A per-task event on the task's own span (child of the run span).
+
+        The task span id is deterministic — ``<run span>/t<task id>`` —
+        so every attempt of one task lands on one span without any
+        cross-attempt bookkeeping.
+        """
+        self._ctx.child(
+            "task", span=f"{self._ctx.span}/t{task_id}"
+        ).emit(event, task_id=task_id, **fields)

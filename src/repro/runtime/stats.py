@@ -11,36 +11,14 @@ mirroring what :mod:`repro.pipeline`'s simulator reports for the GPU half
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field as dc_field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
+# Shared percentile implementation; re-exported here so existing
+# ``from repro.runtime.stats import percentile`` imports keep working.
+from ..stats import percentile
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile of ``values`` (numpy's default).
-
-    ``q`` is in [0, 100].  An empty sequence yields 0.0 so callers can
-    report on a run that produced no records without special-casing.
-
-    >>> percentile([1, 2, 3, 4], 50)
-    2.5
-    >>> percentile([10], 99)
-    10.0
-    """
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    if not values:
-        return 0.0
-    ordered = sorted(float(v) for v in values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * (q / 100.0)
-    lo = math.floor(rank)
-    hi = math.ceil(rank)
-    if lo == hi:
-        return ordered[lo]
-    frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+__all__ = ["RuntimeStats", "TaskRecord", "merge_runtime_stats", "percentile"]
 
 
 @dataclass(frozen=True)
@@ -152,3 +130,36 @@ class RuntimeStats:
             f"mean {self.mean_queue_depth:.1f}",
         ]
         return "\n".join(lines)
+
+
+def merge_runtime_stats(
+    parts: List["RuntimeStats"], *, total_seconds: Optional[float] = None
+) -> RuntimeStats:
+    """Combine per-shard reports into one aggregate run report.
+
+    Used by :class:`~repro.execution.ShardedBackend` when a batch is
+    split across child backends: records, retries, and busy time are
+    summed; ``workers`` is the combined worker count of every shard; the
+    wall time is the caller-measured envelope (shards run concurrently,
+    so summing shard wall times would overcount) and defaults to the
+    slowest shard when not given.
+    """
+    merged = RuntimeStats(workers=0)
+    for part in parts:
+        merged.workers += part.workers
+        merged.records.extend(part.records)
+        merged.retries += part.retries
+        merged.timeouts += part.timeouts
+        merged.queue_depth_samples.extend(part.queue_depth_samples)
+        merged.busy_seconds += part.busy_seconds
+        merged.fell_back_to_serial = (
+            merged.fell_back_to_serial or part.fell_back_to_serial
+        )
+    merged.workers = max(1, merged.workers)
+    if total_seconds is not None:
+        merged.total_seconds = total_seconds
+    else:
+        merged.total_seconds = max(
+            (part.total_seconds for part in parts), default=0.0
+        )
+    return merged

@@ -7,28 +7,29 @@ assume every request in the call shares a prover setup — the same
 contract :meth:`MlaasService.prove_predictions` exploits.
 
 :class:`RuntimeProofBackend` is the stock backend for raw
-:class:`~repro.core.batch.ProofTask` payloads: it holds one
-:class:`~repro.runtime.ProverSpec` per circuit key, pays each key's
-prover construction once for the service's lifetime (not once per
-batch), and shards multi-worker batches through
-:class:`~repro.runtime.ParallelProvingRuntime`.
+:class:`~repro.core.batch.ProofTask` payloads.  It holds one
+:class:`~repro.runtime.ProverSpec` per circuit key and routes every
+batch through the unified execution layer (:mod:`repro.execution`):
+``workers == 1`` selects the in-process :class:`SerialBackend`,
+``workers > 1`` a :class:`PoolBackend`, and any selector string or
+backend instance can be passed explicitly.  Tasks are renumbered to
+their request ids before dispatch, so the ``task`` spans in a shared
+trace file carry the same ids the service's ``request`` spans do — the
+join that lets :func:`repro.execution.request_lineage` walk one request
+from submission to proof.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from dataclasses import replace
+from typing import Any, List, Mapping, Optional, Protocol, Sequence, Union
 
 from ..core.batch import ProofTask
-from ..core.prover import SnarkProver
 from ..core.verifier import SnarkVerifier
 from ..errors import ServiceError
-from ..runtime import ParallelProvingRuntime, ProverSpec, RuntimeStats
+from ..execution import PoolBackend, ProvingBackend, SerialBackend, resolve_backend
+from ..runtime import ProverSpec, RuntimeStats
 from .request import ProofRequest
-
-try:  # pragma: no cover - version probe
-    from typing import Protocol
-except ImportError:  # pragma: no cover - Python < 3.8
-    Protocol = object  # type: ignore[assignment]
 
 
 class ProofBackend(Protocol):
@@ -42,7 +43,7 @@ class ProofBackend(Protocol):
 
 
 class RuntimeProofBackend:
-    """Proves :class:`ProofTask` payloads on the parallel runtime.
+    """Proves :class:`ProofTask` payloads on an execution backend.
 
     Args:
         specs:   ``{circuit key: ProverSpec}`` — the circuits this
@@ -50,10 +51,15 @@ class RuntimeProofBackend:
                  ``spec.r1cs.digest()`` (see :func:`spec_key`).
         workers: ``1`` proves inline on the batcher thread with a
                  prover cached per circuit key; ``> 1`` shards each
-                 batch across a process pool.
+                 batch across a process pool.  Ignored when ``backend``
+                 is given.
         runtime_options: Extra keyword arguments forwarded to
-                 :class:`ParallelProvingRuntime` in pooled mode
-                 (``chunk_size``, ``max_retries``, …).
+                 :class:`~repro.runtime.ParallelProvingRuntime` in
+                 pooled mode (``chunk_size``, ``max_retries``, …).
+        backend: Explicit execution substrate — a selector string
+                 (``"serial"``, ``"pool:8"``,
+                 ``"sharded:pool:4,pool:4"``) or a
+                 :class:`~repro.execution.ProvingBackend` instance.
     """
 
     def __init__(
@@ -61,6 +67,7 @@ class RuntimeProofBackend:
         specs: Mapping[bytes, ProverSpec],
         workers: int = 1,
         runtime_options: Optional[dict] = None,
+        backend: Optional[Union[str, ProvingBackend]] = None,
     ):
         if not specs:
             raise ServiceError("RuntimeProofBackend needs at least one spec")
@@ -69,10 +76,14 @@ class RuntimeProofBackend:
         self.specs = dict(specs)
         self.workers = workers
         self.runtime_options = dict(runtime_options or {})
-        self._provers: Dict[bytes, SnarkProver] = {}
-        self._runtimes: Dict[bytes, ParallelProvingRuntime] = {}
-        #: :class:`RuntimeStats` of the most recent pooled batch (None in
-        #: inline mode or before the first batch).
+        if backend is not None:
+            self.backend: ProvingBackend = resolve_backend(backend)
+        elif workers == 1:
+            self.backend = SerialBackend()
+        else:
+            self.backend = PoolBackend(workers, **self.runtime_options)
+        #: :class:`RuntimeStats` of the most recent batch (None before
+        #: the first batch).
         self.last_runtime_stats: Optional[RuntimeStats] = None
 
     @classmethod
@@ -94,25 +105,18 @@ class RuntimeProofBackend:
     def prove_batch(
         self, circuit_key: bytes, requests: Sequence[ProofRequest]
     ) -> List[Any]:
-        """Prove every request's :class:`ProofTask` payload."""
+        """Prove every request's :class:`ProofTask` payload.
+
+        Tasks are renumbered to their request ids (``task_id`` is not
+        part of proof content), so per-task trace spans and
+        :class:`RuntimeStats` records correlate with service requests.
+        """
         spec = self._spec_for(circuit_key)
-        tasks: List[ProofTask] = [request.payload for request in requests]
-        if self.workers == 1:
-            prover = self._provers.get(circuit_key)
-            if prover is None:
-                prover = spec.build_prover()
-                self._provers[circuit_key] = prover
-            return [
-                prover.prove(task.witness, task.public_values)
-                for task in tasks
-            ]
-        runtime = self._runtimes.get(circuit_key)
-        if runtime is None:
-            runtime = ParallelProvingRuntime(
-                spec, workers=self.workers, **self.runtime_options
-            )
-            self._runtimes[circuit_key] = runtime
-        proofs, stats = runtime.prove_tasks(tasks)
+        tasks: List[ProofTask] = [
+            replace(request.payload, task_id=request.request_id)
+            for request in requests
+        ]
+        proofs, stats = self.backend.prove_tasks(spec, tasks)
         self.last_runtime_stats = stats
         return proofs
 

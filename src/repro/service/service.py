@@ -29,7 +29,7 @@ import time
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import AdmissionError, ProofError, ServiceError
-from ..runtime.trace import JsonlTraceSink
+from ..runtime.trace import JsonlTraceSink, SpanContext, use_span
 from .batcher import BatchPolicy, DynamicBatcher
 from .cache import ResultCache
 from .request import Priority, ProofRequest, Ticket
@@ -99,6 +99,12 @@ class ProofService:
         self.cache = ResultCache(capacity=cache_capacity)
         self.keyer = keyer
         self.trace = trace
+        #: Root span of this service instance; every request and batch
+        #: span the service emits hangs off it, so one shared sink can
+        #: reconstruct any request's lifecycle (see
+        #: :func:`repro.execution.request_lineage`).
+        self._span = SpanContext(trace, "service")
+        self._batch_seq = 0
         self.stats = ServiceStats()
         self._clock = time.monotonic
         self._cond = threading.Condition()
@@ -108,6 +114,11 @@ class ProofService:
         self._shedding = False
         self._next_id = 0
         self._batcher = DynamicBatcher(self, self.policy)
+        self._span.emit(
+            "svc_start", max_queue=max_queue,
+            high_watermark=self.high_watermark,
+            low_watermark=self.low_watermark,
+        )
         if start:
             self._batcher.start()
 
@@ -166,13 +177,13 @@ class ProofService:
                         self._clock() - now, missed_deadline=False
                     )
                     ticket._resolve(value, source="cache")
-                    self._emit(
+                    self._request_ctx(ticket.request_id).emit(
                         "svc_cache_hit", request_id=ticket.request_id
                     )
                     return ticket
                 if outcome == "joined":
                     self.stats.record_coalesced()
-                    self._emit(
+                    self._request_ctx(ticket.request_id).emit(
                         "svc_coalesce", request_id=ticket.request_id
                     )
                     return ticket
@@ -199,7 +210,7 @@ class ProofService:
             self._pending.append(request)
             self.stats.record_accept()
             self._cond.notify_all()
-        self._emit(
+        self._request_ctx(ticket.request_id).emit(
             "svc_submit",
             request_id=ticket.request_id,
             priority=priority.name,
@@ -211,7 +222,9 @@ class ProofService:
         """Watermark admission control; raises :class:`AdmissionError`."""
         if depth >= self.max_queue:
             self.stats.record_rejection("queue_full")
-            self._emit("svc_reject", reason="queue_full", queue_depth=depth)
+            self._span.emit(
+                "svc_reject", reason="queue_full", queue_depth=depth
+            )
             raise AdmissionError(
                 "queue_full", f"depth {depth} >= max_queue {self.max_queue}"
             )
@@ -221,7 +234,9 @@ class ProofService:
             self._shedding = True
         if self._shedding and priority == Priority.BULK:
             self.stats.record_rejection("bulk_shed")
-            self._emit("svc_reject", reason="bulk_shed", queue_depth=depth)
+            self._span.emit(
+                "svc_reject", reason="bulk_shed", queue_depth=depth
+            )
             raise AdmissionError(
                 "bulk_shed",
                 f"depth {depth} >= high watermark {self.high_watermark}",
@@ -240,7 +255,10 @@ class ProofService:
         self.stats.record_batch(len(batch))
         with self._cond:
             self.stats.sample_queue_depth(len(self._pending))
-        self._emit(
+            self._batch_seq += 1
+            seq = self._batch_seq
+        bctx = self._span.child("batch", span=f"{self._span.span}/b{seq}")
+        bctx.emit(
             "batch_form",
             size=len(batch),
             circuit=circuit_key.hex()[:12],
@@ -248,14 +266,18 @@ class ProofService:
         )
         started = self._clock()
         try:
-            results = self.backend.prove_batch(circuit_key, batch)
+            # The ambient span hands the sink and this batch's span id to
+            # whatever execution backend the proof backend dispatches to,
+            # so the backend run appears *under* this batch in the trace.
+            with use_span(bctx):
+                results = self.backend.prove_batch(circuit_key, batch)
             if len(results) != len(batch):
                 raise ProofError(
                     f"backend returned {len(results)} results for a batch "
                     f"of {len(batch)}"
                 )
         except Exception as exc:
-            self._fail_batch(batch, exc)
+            self._fail_batch(batch, exc, bctx)
             return
         now = self._clock()
         for request, result in zip(batch, results):
@@ -272,18 +294,23 @@ class ProofService:
                     now - resolved.submitted_at, missed_deadline=missed
                 )
                 if missed:
-                    self._emit(
+                    bctx.emit(
                         "deadline_miss",
                         request_id=resolved.request_id,
                         late_seconds=now - resolved.deadline,
                     )
                 source = "proved" if resolved is request.ticket else "coalesced"
                 resolved._resolve(result, source=source)
-        self._emit(
+        bctx.emit(
             "batch_done", size=len(batch), seconds=now - started
         )
 
-    def _fail_batch(self, batch: List[ProofRequest], exc: Exception) -> None:
+    def _fail_batch(
+        self,
+        batch: List[ProofRequest],
+        exc: Exception,
+        bctx: SpanContext,
+    ) -> None:
         error = ProofError(f"batch of {len(batch)} failed: {exc}")
         error.__cause__ = exc
         count = 0
@@ -297,7 +324,7 @@ class ProofService:
                 ticket._fail(error)
                 count += 1
         self.stats.record_failure(count)
-        self._emit("batch_failed", size=len(batch), reason=repr(exc))
+        bctx.emit("batch_failed", size=len(batch), reason=repr(exc))
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -345,7 +372,7 @@ class ProofService:
                 ticket._fail(ServiceError("service closed before dispatch"))
         if self._batcher.is_alive():
             self._batcher.join(timeout)
-        self._emit("svc_close", drained=drain)
+        self._span.emit("svc_close", drained=drain)
         if self.trace is not None:
             self.trace.flush()
 
@@ -357,6 +384,8 @@ class ProofService:
 
     # -- helpers --------------------------------------------------------------
 
-    def _emit(self, event: str, **fields) -> None:
-        if self.trace is not None:
-            self.trace.emit(event, **fields)
+    def _request_ctx(self, request_id: int) -> SpanContext:
+        """The deterministic span for one request, under the service span."""
+        return self._span.child(
+            "request", span=f"{self._span.span}/r{request_id}"
+        )

@@ -6,8 +6,8 @@ describes the *service* from the outside: how fast requests arrive, how
 deep the queue runs, what batch sizes the scheduler actually forms, how
 often the cache absorbs work, how many deadlines slip, and the
 end-to-end latency distribution a customer experiences (queueing +
-batching + proving, not proving alone).  Percentiles reuse
-:func:`repro.runtime.stats.percentile` so both layers report identically.
+batching + proving, not proving alone).  Percentiles reuse the shared
+:func:`repro.stats.percentile` so both layers report identically.
 
 All record methods are thread-safe; submitters, the batcher thread, and
 readers share one instance.
@@ -19,7 +19,7 @@ import threading
 from collections import Counter
 from typing import Dict, List, Optional
 
-from ..runtime.stats import percentile
+from ..stats import percentile
 
 
 class ServiceStats:

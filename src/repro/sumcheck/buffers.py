@@ -18,7 +18,7 @@ compares its (modeled) hazard-free behaviour against the stride layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import SumcheckError
 

@@ -20,7 +20,7 @@ kernel) and a one-shot interface.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..errors import SumcheckError
 from ..field.multilinear import MultilinearPolynomial

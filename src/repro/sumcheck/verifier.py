@@ -9,7 +9,7 @@ or via a polynomial-commitment opening inside the full protocol).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..errors import SumcheckError
 from ..field.lagrange import evaluate_from_points

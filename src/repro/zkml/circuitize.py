@@ -20,11 +20,11 @@ exactness is free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
-from ..core.circuit import CircuitBuilder, CompiledCircuit, Wire, compile_builder
+from ..core.circuit import CircuitBuilder, CompiledCircuit, compile_builder
 from ..errors import ZkmlError
 from ..field.prime_field import PrimeField
 from .layers import Conv2d, Flatten, Linear, ReLU, Square, SumPool2d

@@ -10,7 +10,7 @@ SNARK in the test suite and examples.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ produced every prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.batch import ProofTask
 from ..core.prover import SnarkProver, make_pcs
@@ -28,13 +28,16 @@ from ..field.prime_field import DEFAULT_FIELD, PrimeField
 from ..hashing.hashers import Hasher, get_hasher
 from ..merkle.tree import MerkleTree
 from ..pipeline.system import BatchZkpSystem, SystemResult
-from .circuitize import ZkmlCircuit, circuitize
+from .circuitize import circuitize
 from .model import SequentialModel
 from .tensor import QuantizedTensor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..runtime import ParallelProvingRuntime, RuntimeStats
+    from ..execution import ProvingBackend
+    from ..runtime import ProverSpec, RuntimeStats
     from ..service import ProofService
+
+    BackendLike = Union[str, ProvingBackend]
 
 #: Stage caps for the deep VGG pipeline: uncapped — the verifiable-CNN
 #: pipeline dedicates kernels to every layer of its much deeper module
@@ -76,6 +79,10 @@ class MlaasService:
         #: :class:`~repro.runtime.RuntimeStats` of the most recent
         #: :meth:`prove_predictions` batch (None before the first batch).
         self.last_runtime_stats: Optional["RuntimeStats"] = None
+        # Per-circuit specs and per-worker-count execution backends, both
+        # cached so repeated batches of one shape reuse prover setups.
+        self._specs: Dict[bytes, "ProverSpec"] = {}
+        self._backends: Dict[int, "ProvingBackend"] = {}
 
     @property
     def model_root(self) -> bytes:
@@ -102,27 +109,39 @@ class MlaasService:
             prediction=zk.outputs, proof=proof, model_root=self.model_root
         )
 
+    def _execution_backend(self, workers: int) -> "ProvingBackend":
+        """The cached per-worker-count execution backend for batches."""
+        from ..execution import PoolBackend, SerialBackend
+
+        backend = self._backends.get(workers)
+        if backend is None:
+            backend = SerialBackend() if workers == 1 else PoolBackend(workers)
+            self._backends[workers] = backend
+        return backend
+
     def prove_predictions(
         self,
         inputs: Sequence[QuantizedTensor],
         workers: int = 1,
-        runtime: Optional["ParallelProvingRuntime"] = None,
+        backend: Optional["BackendLike"] = None,
     ) -> List[PredictionResponse]:
         """Prove a *batch* of predictions, optionally across worker processes.
 
         Same-shaped inputs to one model compile to the same circuit
-        structure, so the batch shares a single prover setup; with
-        ``workers > 1`` (or an explicit ``runtime``) the witnesses are
-        sharded across the process-pool runtime, which is the MLaaS
-        "flowing stream" setting of the paper's §5.  Should an input ever
-        compile to a structurally different circuit, the batch degrades to
-        per-input serial proving rather than producing invalid proofs.
-        The runtime's report lands in :attr:`last_runtime_stats`; calls
-        that never reach the runtime (an empty batch, or the non-uniform
-        serial fallback) reset it to None so it always describes *this*
-        call, never a previous one.
+        structure, so the batch shares a single prover setup; execution
+        routes through the unified backend layer (:mod:`repro.execution`):
+        ``workers > 1`` selects a process-pool backend, and ``backend``
+        accepts any selector string or backend instance — which is the
+        MLaaS "flowing stream" setting of the paper's §5.  Should an
+        input ever compile to a structurally different circuit, the batch
+        degrades to per-input serial proving rather than producing
+        invalid proofs.  The backend's report lands in
+        :attr:`last_runtime_stats`; calls that never reach a backend (an
+        empty batch, or the non-uniform serial fallback) reset it to None
+        so it always describes *this* call, never a previous one.
         """
-        from ..runtime import ParallelProvingRuntime, ProverSpec
+        from ..execution import resolve_backend
+        from ..runtime import ProverSpec
 
         self.last_runtime_stats = None
         circuits = [circuitize(self.model, x, self.field) for x in inputs]
@@ -135,13 +154,19 @@ class MlaasService:
         )
         if not uniform:
             return [self.prove_prediction(x) for x in inputs]
-        if runtime is None:
+        spec = self._specs.get(reference_digest)
+        if spec is None:
             spec = ProverSpec(
                 r1cs=first.r1cs,
                 public_indices=tuple(first.public_indices),
                 num_col_checks=self.num_col_checks,
             )
-            runtime = ParallelProvingRuntime(spec, workers=workers)
+            self._specs[reference_digest] = spec
+        resolved = (
+            self._execution_backend(workers)
+            if backend is None
+            else resolve_backend(backend)
+        )
         tasks = [
             ProofTask(
                 task_id=i,
@@ -150,7 +175,7 @@ class MlaasService:
             )
             for i, zk in enumerate(circuits)
         ]
-        proofs, stats = runtime.prove_tasks(tasks)
+        proofs, stats = resolved.prove_tasks(spec, tasks)
         self.last_runtime_stats = stats
         return [
             PredictionResponse(
@@ -212,6 +237,7 @@ class MlaasService:
         self,
         *,
         workers: int = 1,
+        backend: Optional["BackendLike"] = None,
         policy=None,
         **service_kwargs,
     ) -> "ProofService":
@@ -228,15 +254,16 @@ class MlaasService:
 
         Every dispatched batch is uniform by construction, so it rides
         the shared-:class:`~repro.runtime.ProverSpec` fast path of
-        :meth:`prove_predictions` (with ``workers > 1``, across the
-        process-pool runtime).  Extra keyword arguments (``max_queue``,
-        ``cache_capacity``, ``trace``, …) pass through to
+        :meth:`prove_predictions` (with ``workers > 1`` across the
+        process-pool backend, or any explicit ``backend`` selector).
+        Extra keyword arguments (``max_queue``, ``cache_capacity``,
+        ``trace``, …) pass through to
         :class:`~repro.service.ProofService`.
         """
         from ..service import ProofService
 
         return ProofService(
-            _PredictionBackend(self, workers),
+            _PredictionBackend(self, workers, backend),
             policy=policy,
             keyer=self.request_keys,
             **service_kwargs,
@@ -251,13 +278,21 @@ class _PredictionBackend:
     takes its one-prover-setup fast path on every dispatch.
     """
 
-    def __init__(self, service: MlaasService, workers: int = 1):
+    def __init__(
+        self,
+        service: MlaasService,
+        workers: int = 1,
+        backend: Optional["BackendLike"] = None,
+    ):
         self.service = service
         self.workers = workers
+        self.backend = backend
 
     def prove_batch(self, circuit_key, requests) -> List[PredictionResponse]:
         inputs = [request.payload for request in requests]
-        return self.service.prove_predictions(inputs, workers=self.workers)
+        return self.service.prove_predictions(
+            inputs, workers=self.workers, backend=self.backend
+        )
 
 
 def simulate_vgg16_service(

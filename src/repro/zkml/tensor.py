@@ -10,7 +10,7 @@ field elements (negatives map to ``p − |v|``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

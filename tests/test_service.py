@@ -588,6 +588,10 @@ class TestEndToEnd:
             push(i, Priority.INTERACTIVE if i % 3 == 0 else Priority.BULK)
         assert rejected > 0, "burst should overflow max_queue=50"
         gated.release.set()
+        # Let phase 1 finish before replaying its keys: a repeat of an
+        # *in-flight* request coalesces rather than cache-hits, so the
+        # cache-hit assertions below need phase-1 results to be cached.
+        assert svc.drain(timeout=300)
 
         # Phase 2: paced arrivals (varied batch sizes) incl. repeats of
         # phase-1 keys, which land as cache hits or coalesces.
