@@ -10,6 +10,14 @@ Usage::
     python -m repro prove --workers 4     # real proofs on the parallel runtime
     python -m repro prove --backend sharded:pool:2,pool:2
     python -m repro serve --requests 60   # streaming service on a synthetic trace
+
+Resilience drills (S25)::
+
+    python -m repro prove --backend resilient:sharded:pool:2,pool:2 \\
+        --fault-plan crash:0.1,corrupt:0.02,down=0@1x1,seed=7
+    python -m repro prove --journal out.jsonl            # crash-safe WAL
+    python -m repro prove --journal out.jsonl --resume   # skip proven tasks
+    python -m repro serve --fault-plan batch:0.2,seed=3  # chaos in the service
 """
 
 from __future__ import annotations
@@ -75,15 +83,16 @@ def _print_breakdown() -> None:
 
 def _run_prove(args) -> int:
     """Generate a real proof batch on an execution backend and report."""
-    from .core import (
-        ProofTask,
-        SnarkProver,
-        make_pcs,
-        random_circuit,
-        verify_all,
-    )
+    from .core import ProofTask, SnarkProver, make_pcs, random_circuit
     from .execution import resolve_backend
     from .field import DEFAULT_FIELD
+    from .resilience import (
+        FaultInjector,
+        FaultPlan,
+        apply_fault_plan,
+        journaled_prove,
+        split_results,
+    )
     from .runtime import JsonlTraceSink, ProverSpec
 
     cc = random_circuit(DEFAULT_FIELD, args.gates, seed=1)
@@ -98,21 +107,56 @@ def _run_prove(args) -> int:
     if selector is None:
         selector = "serial" if args.workers == 1 else f"pool:{args.workers}"
     backend = resolve_backend(selector)
+    injector = None
+    if args.fault_plan:
+        plan = FaultPlan.parse(args.fault_plan)
+        injector = FaultInjector(plan)
+        # The drill assumes the substrate's retry machinery is on;
+        # without a floor a plain serial oracle dies on the first crash.
+        apply_fault_plan(backend, injector, min_retries=2)
+        if hasattr(backend, "verify_on_return") and plan.corrupt > 0:
+            backend.verify_on_return = True
     print(
         f"Proving {args.tasks} tasks at S = {args.gates} gates on "
         f"backend {backend.name} (parallelism {backend.parallelism})…"
     )
+    if args.fault_plan:
+        print(f"fault plan: {args.fault_plan}")
+    report = None
     try:
-        proofs, stats = backend.prove_tasks(spec, tasks, trace=trace)
+        if args.journal:
+            results, stats, report = journaled_prove(
+                backend,
+                spec,
+                tasks,
+                args.journal,
+                resume=args.resume,
+                checkpoint_every=args.checkpoint_every,
+                trace=trace,
+            )
+        else:
+            results, stats = backend.prove_tasks(spec, tasks, trace=trace)
     finally:
         if trace is not None:
             trace.close()
     print(stats.report())
-    ok = verify_all(spec.build_verifier(), proofs, tasks)
-    print(f"all proofs verify: {ok}")
+    rstats = getattr(backend, "last_resilience_stats", None)
+    if rstats is not None:
+        print(rstats.report())
+    if report is not None:
+        print(report.summary())
+    proofs, quarantined = split_results(results)
+    verifier = spec.build_verifier()
+    ok = all(
+        verifier.verify(proof, tasks[index].public_values)
+        for index, proof in proofs
+    )
+    print(f"all {len(proofs)} returned proofs verify: {ok}")
+    for q in quarantined:
+        print(f"quarantined: {q}")
     if args.trace:
         print(f"trace events written to {args.trace}")
-    return 0 if ok else 1
+    return 0 if ok and proofs else 1
 
 
 def _run_serve(args) -> int:
@@ -164,6 +208,15 @@ def _run_serve(args) -> int:
     backend = RuntimeProofBackend.from_specs(
         specs, workers=args.workers, backend=args.backend
     )
+    injector = None
+    if args.fault_plan:
+        from .resilience import FaultInjector, FaultPlan, apply_fault_plan
+
+        plan = FaultPlan.parse(args.fault_plan)
+        injector = FaultInjector(plan)
+        apply_fault_plan(backend.backend, injector, min_retries=2)
+        if hasattr(backend.backend, "verify_on_return") and plan.corrupt > 0:
+            backend.backend.verify_on_return = True
     policy = BatchPolicy(
         max_batch_size=args.batch_size, max_wait_seconds=args.window
     )
@@ -172,11 +225,14 @@ def _run_serve(args) -> int:
         f"(batch<= {args.batch_size}, window {args.window * 1e3:.0f} ms, "
         f"queue<= {args.max_queue}, backend {backend.backend.name})…"
     )
+    if args.fault_plan:
+        print(f"fault plan: {args.fault_plan}")
     service = ProofService(
         backend,
         policy=policy,
         max_queue=args.max_queue,
         trace=sink,
+        fault_injector=injector,
     )
     try:
         tickets, rejected = replay(service, events, make_request)
@@ -186,12 +242,19 @@ def _run_serve(args) -> int:
         if sink is not None:
             sink.close()
     checked = 0
+    failed = 0
     ok = True
     verifiers = {}
     for event_index, ticket in enumerate(tickets):
         if ticket is None:
             continue
-        proof = ticket.result(timeout=60)
+        try:
+            proof = ticket.result(timeout=60)
+        except Exception:
+            # Under an injected fault plan some requests legitimately
+            # fail (batch faults, quarantines); count, don't abort.
+            failed += 1
+            continue
         if checked >= args.verify_sample:
             continue  # still drain every ticket above
         event = events[event_index]
@@ -207,10 +270,17 @@ def _run_serve(args) -> int:
         )
         checked += 1
     print(service.stats.report())
+    rstats = getattr(backend.backend, "last_resilience_stats", None)
+    if rstats is not None:
+        print(rstats.report())
     print(f"rejected at admission: {rejected}")
+    if failed:
+        print(f"failed tickets: {failed}")
     print(f"verified sample of {checked}: {'ok' if ok else 'FAILED'}")
     if args.trace:
         print(f"trace events written to {args.trace}")
+    if failed and not args.fault_plan:
+        return 1
     return 0 if ok else 1
 
 
@@ -262,6 +332,35 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="JSONL trace-event sink for `prove` / `serve`",
     )
+    resilience_group = parser.add_argument_group("resilience options")
+    resilience_group.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="seeded chaos plan for `prove` / `serve`, e.g. "
+        "'crash:0.1,corrupt:0.02,seed=7' (kinds: crash, slow, corrupt, "
+        "outage, pool_death, batch; plus down=C@FxN and poison=A+B)",
+    )
+    resilience_group.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="crash-safe JSONL proof journal for `prove` (write-ahead "
+        "log; fsync per completed proof)",
+    )
+    resilience_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --journal: skip tasks already recorded in the journal",
+    )
+    resilience_group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --journal: prove (and durably record) N tasks per "
+        "checkpoint chunk (default 1)",
+    )
     serve_group = parser.add_argument_group("serve options")
     serve_group.add_argument(
         "--requests", type=int, default=60,
@@ -305,12 +404,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment in ("prove", "serve"):
-        from .errors import ExecutionError, ProofError, ServiceError
+        from .errors import (
+            ExecutionError,
+            ProofError,
+            ResilienceError,
+            ServiceError,
+        )
 
         try:
             return _run_prove(args) if args.experiment == "prove" else \
                 _run_serve(args)
-        except (ExecutionError, ProofError, ServiceError, OSError) as exc:
+        except (
+            ExecutionError, ProofError, ResilienceError, ServiceError, OSError
+        ) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 

@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.pipeline",
     "repro.runtime",
     "repro.execution",
+    "repro.resilience",
     "repro.service",
     "repro.baselines",
     "repro.zkml",

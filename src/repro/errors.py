@@ -82,6 +82,60 @@ class ExecutionError(ReproError):
     """Proving-backend misconfiguration (unknown selector, bad composition)."""
 
 
+class ResilienceError(ReproError):
+    """Resilience-layer failure (fault plan, breaker, journal misuse)."""
+
+
+class InjectedFault(ResilienceError):
+    """A deliberately injected failure from a :class:`FaultInjector`.
+
+    Distinguishable from organic failures so chaos drills can assert that
+    every observed failure was one the plan scheduled.  ``kind`` names the
+    fault class (``"crash"``, ``"outage"``, …).
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        self.kind = kind
+        message = f"injected fault: {kind}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class BackendUnavailableError(ResilienceError):
+    """A child backend cannot take work right now (outage or breaker)."""
+
+
+class CircuitOpenError(BackendUnavailableError):
+    """A circuit breaker rejected the call without attempting it."""
+
+
+class QuarantinedTaskError(ResilienceError):
+    """A task failed across enough distinct children to be quarantined.
+
+    Returned *in the task's result slot* by
+    :class:`~repro.resilience.ResilientBackend` instead of failing the
+    whole batch: callers inspect :attr:`task_id`, the child backends it
+    was :attr:`tried_on`, and the :attr:`last_error` text.
+    """
+
+    def __init__(
+        self, task_id: int, tried_on: list, last_error: str = ""
+    ) -> None:
+        self.task_id = task_id
+        self.tried_on = list(tried_on)
+        self.last_error = last_error
+        super().__init__(
+            f"task {task_id} quarantined after failing on "
+            f"{len(self.tried_on)} children ({', '.join(self.tried_on)})"
+            + (f": {last_error}" if last_error else "")
+        )
+
+
+class JournalError(ResilienceError):
+    """Proof-journal corruption or spec mismatch on resume."""
+
+
 class ServiceError(ReproError):
     """Streaming proof-service failure (submission, lifecycle, tickets)."""
 

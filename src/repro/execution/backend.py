@@ -45,7 +45,7 @@ from typing import (
 
 from ..core.batch import ProofTask
 from ..core.proof import SnarkProof
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ProofError
 from ..runtime.pool import ParallelProvingRuntime
 from ..runtime.spec import ProverSpec
 from ..runtime.stats import RuntimeStats, TaskRecord, merge_runtime_stats
@@ -119,17 +119,37 @@ class _PerSpecCache:
 class SerialBackend:
     """In-process serial execution: the floor, and the reference oracle.
 
-    No pool, no IPC, no retries — each task is proved inline on the
-    calling thread with a prover cached per spec.  Every other backend's
-    proofs must be byte-identical to this one's (the parity property the
-    execution tests pin down).
+    No pool, no IPC — each task is proved inline on the calling thread
+    with a prover cached per spec.  Every other backend's proofs must be
+    byte-identical to this one's (the parity property the execution
+    tests pin down).
+
+    Retries default *off* (``max_retries=0``): the oracle fails loudly.
+    The resilience layer turns them on so an injected transient crash is
+    absorbed the same way the pooled runtime absorbs it, and installs
+    ``fault_injector`` — the ``(task_id, attempt) -> None`` worker hook
+    plus, when present, a ``maybe_corrupt(proof, task_id)`` delivery
+    hook — via :func:`~repro.resilience.apply_fault_plan`.
     """
 
     name = "serial"
     parallelism = 1
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.05,
+        fault_injector=None,
+    ) -> None:
+        if max_retries < 0:
+            raise ExecutionError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
         self._provers = _PerSpecCache()
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.fault_injector = fault_injector
 
     def adopt_prover(self, spec: ProverSpec, prover) -> None:
         """Seed the cache with an already-built prover for ``spec``.
@@ -153,29 +173,57 @@ class SerialBackend:
         stats = RuntimeStats(workers=1)
         start = time.perf_counter()
         ctx.emit("run_start", backend=self.name, tasks=len(tasks), workers=1)
+        injector = self.fault_injector
+        corrupt = getattr(injector, "maybe_corrupt", None)
         proofs: List[SnarkProof] = []
         for task in tasks:
-            t0 = time.perf_counter()
-            proof = prover.prove(task.witness, task.public_values)
-            prove_seconds = time.perf_counter() - t0
+            submitted = time.perf_counter()
+            attempt = 1
+            while True:
+                try:
+                    if injector is not None:
+                        injector(task.task_id, attempt)
+                    t0 = time.perf_counter()
+                    proof = prover.prove(task.witness, task.public_values)
+                    prove_seconds = time.perf_counter() - t0
+                    break
+                except Exception as exc:
+                    if attempt > self.max_retries:
+                        raise ProofError(
+                            f"task {task.task_id} failed after {attempt} "
+                            f"attempts: {exc}"
+                        ) from exc
+                    stats.retries += 1
+                    ctx.child(
+                        "task", span=f"{ctx.span}/t{task.task_id}"
+                    ).emit(
+                        "retry", task_id=task.task_id, attempt=attempt,
+                        reason=repr(exc),
+                    )
+                    time.sleep(
+                        self.retry_backoff_seconds * (2 ** (attempt - 1))
+                    )
+                    attempt += 1
+            if corrupt is not None:
+                proof = corrupt(proof, task.task_id)
             stats.busy_seconds += prove_seconds
             stats.records.append(
                 TaskRecord(
                     task_id=task.task_id,
-                    attempts=1,
+                    attempts=attempt,
                     prove_seconds=prove_seconds,
-                    latency_seconds=prove_seconds,
+                    latency_seconds=time.perf_counter() - submitted,
                     worker=None,
                 )
             )
             ctx.child("task", span=f"{ctx.span}/t{task.task_id}").emit(
-                "complete", task_id=task.task_id, attempt=1,
+                "complete", task_id=task.task_id, attempt=attempt,
                 seconds=prove_seconds,
             )
             proofs.append(proof)
         stats.total_seconds = time.perf_counter() - start
         ctx.emit(
-            "run_end", proofs=len(proofs), retries=0,
+            "run_end", proofs=len(proofs), retries=stats.retries,
             seconds=stats.total_seconds,
         )
         if ctx.sink is not None:
@@ -193,12 +241,26 @@ class PoolBackend:
 
     Args:
         workers:         Pool size; ``None`` → ``os.cpu_count()``.
+        fault_injector:  Optional picklable ``(task_id, attempt)`` worker
+                         hook (see :class:`ParallelProvingRuntime`);
+                         a :class:`~repro.resilience.FaultInjector` also
+                         gets its ``maybe_corrupt`` delivery hook applied
+                         to returned proofs.  Must be set before the
+                         first ``prove_tasks`` for a spec — the worker
+                         initializer captures it when the runtime is
+                         built.
         runtime_options: Extra keyword arguments forwarded to
                          :class:`ParallelProvingRuntime`
                          (``chunk_size``, ``max_retries``, …).
     """
 
-    def __init__(self, workers: Optional[int] = None, **runtime_options):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        fault_injector=None,
+        **runtime_options,
+    ):
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -206,6 +268,7 @@ class PoolBackend:
         self.workers = workers
         self.parallelism = workers
         self.name = f"pool:{workers}"
+        self.fault_injector = fault_injector
         self.runtime_options = dict(runtime_options)
         self._runtimes = _PerSpecCache()
 
@@ -217,13 +280,24 @@ class PoolBackend:
         trace: Optional[JsonlTraceSink] = None,
         parent: Optional[str] = None,
     ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        tasks = list(tasks)
         runtime: ParallelProvingRuntime = self._runtimes.get_or_build(
             spec,
             lambda s: ParallelProvingRuntime(
-                s, workers=self.workers, **self.runtime_options
+                s,
+                workers=self.workers,
+                fault_injector=self.fault_injector,
+                **self.runtime_options,
             ),
         )
-        return runtime.prove_tasks(tasks, trace=trace, parent=parent)
+        proofs, stats = runtime.prove_tasks(tasks, trace=trace, parent=parent)
+        corrupt = getattr(self.fault_injector, "maybe_corrupt", None)
+        if corrupt is not None:
+            proofs = [
+                corrupt(proof, task.task_id)
+                for proof, task in zip(proofs, tasks)
+            ]
+        return proofs, stats
 
 
 class ShardedBackend:

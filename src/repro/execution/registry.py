@@ -10,6 +10,10 @@ code::
     sharded:pool:4,pool:4       two concurrent 4-worker pools
     sharded:pool:4,serial       heterogeneous children (weights default
                                 to each child's parallelism)
+    resilient:sharded:pool:2,pool:2
+                                the same two pools behind per-child
+                                circuit breakers with failover and
+                                poison-task quarantine (S25)
 
 :func:`resolve_backend` also passes through an already-constructed
 :class:`~repro.execution.ProvingBackend` unchanged, so programmatic
@@ -117,6 +121,20 @@ def _make_sharded(rest: str) -> ShardedBackend:
     return ShardedBackend([resolve_backend(part) for part in parts])
 
 
+def _make_resilient(rest: str) -> ProvingBackend:
+    # Imported lazily: repro.resilience imports this package for the
+    # backend protocol, so a module-level import would be a cycle.
+    from ..resilience import ResilientBackend
+
+    if not rest:
+        raise ExecutionError(
+            "'resilient' wraps an inner selector, e.g. "
+            "'resilient:sharded:pool:2,pool:2' or 'resilient:pool:4'"
+        )
+    return ResilientBackend(resolve_backend(rest))
+
+
 register_backend("serial", _make_serial)
 register_backend("pool", _make_pool)
 register_backend("sharded", _make_sharded)
+register_backend("resilient", _make_resilient)

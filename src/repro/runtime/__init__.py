@@ -11,6 +11,18 @@ numbers (p50/p95/p99 latency, throughput, utilization) an operator of
 the paper's §2.1 proving business would watch.
 """
 
+__apidoc__ = """
+Timeout semantics differ by mode, deliberately: in pooled mode an
+attempt that outlives its budget is killed and retried (the late result,
+if any, is discarded); in serial mode (``workers=1`` or the pool-death
+fallback) a running prove cannot be preempted, so an overrun is
+*recorded, not preempted* — the proof still lands, ``stats.timeouts``
+counts the violation, and a run-level ``timeout`` trace event is emitted
+with the same ``{"event": "timeout", "tasks": [...], "seconds": ...}``
+shape as the pooled path, so trace consumers need one parser for either
+mode.
+"""
+
 from .pool import ParallelProvingRuntime
 from .spec import ProverSpec
 from .stats import RuntimeStats, TaskRecord, merge_runtime_stats, percentile

@@ -259,9 +259,11 @@ class ParallelProvingRuntime:
             ):
                 # Serial mode cannot preempt a running prove; record the
                 # overrun so operators still see the budget violation.
+                # Same run-level event shape as the pooled path, so trace
+                # consumers need one "timeout" parser for either mode.
                 stats.timeouts += 1
-                self._emit_task(
-                    "timeout", task.task_id, seconds=prove_seconds
+                self._emit(
+                    "timeout", tasks=[task.task_id], seconds=prove_seconds
                 )
             stats.busy_seconds += prove_seconds
             stats.records.append(

@@ -179,6 +179,11 @@ class DynamicBatcher(threading.Thread):
                     service._cond.wait(timeout)
             try:
                 service._dispatch(batch)
+            except Exception as exc:  # noqa: BLE001 - thread must survive
+                # A bug (or injected chaos) escaping _dispatch must not
+                # kill the scheduler: fail this batch's tickets, keep
+                # serving the queue.
+                service._batcher_error(batch, exc)
             finally:
                 with service._cond:
                     service._active_batches -= 1

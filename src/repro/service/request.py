@@ -125,6 +125,9 @@ class ProofRequest:
     #: Absolute monotonic deadline (None = unconstrained).
     deadline: Optional[float]
     ticket: Ticket = dc_field(repr=False, default=None)  # type: ignore[assignment]
+    #: Dispatch attempt this request is on (2 = a promoted single-flight
+    #: follower getting its one independent retry after a batch failure).
+    attempt: int = 1
 
     @property
     def cache_key(self) -> Optional[tuple]:

@@ -28,7 +28,12 @@ import threading
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
-from ..errors import AdmissionError, ProofError, ServiceError
+from ..errors import (
+    AdmissionError,
+    ProofError,
+    QuarantinedTaskError,
+    ServiceError,
+)
 from ..runtime.trace import JsonlTraceSink, SpanContext, use_span
 from .batcher import BatchPolicy, DynamicBatcher
 from .cache import ResultCache
@@ -62,6 +67,11 @@ class ProofService:
         keyer:          Optional payload → (circuit_key, witness_key)
                         function so callers can omit explicit keys.
         trace:          Optional shared :class:`JsonlTraceSink`.
+        fault_injector: Optional chaos hook (a
+                        :class:`~repro.resilience.FaultInjector`); its
+                        ``on_batch_dispatch(seq)`` runs before each batch
+                        reaches the backend, so injected batch faults
+                        exercise the service's own failure path.
         start:          Start the batcher thread immediately (tests may
                         pass False and drive :meth:`_dispatch` directly).
     """
@@ -77,6 +87,7 @@ class ProofService:
         cache_capacity: int = 1024,
         keyer: Optional[Keyer] = None,
         trace: Optional[JsonlTraceSink] = None,
+        fault_injector=None,
         start: bool = True,
     ):
         if max_queue < 1:
@@ -99,6 +110,7 @@ class ProofService:
         self.cache = ResultCache(capacity=cache_capacity)
         self.keyer = keyer
         self.trace = trace
+        self.fault_injector = fault_injector
         #: Root span of this service instance; every request and batch
         #: span the service emits hangs off it, so one shared sink can
         #: reconstruct any request's lifecycle (see
@@ -266,6 +278,8 @@ class ProofService:
         )
         started = self._clock()
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.on_batch_dispatch(seq)
             # The ambient span hands the sink and this batch's span id to
             # whatever execution backend the proof backend dispatches to,
             # so the backend run appears *under* this batch in the trace.
@@ -281,6 +295,24 @@ class ProofService:
             return
         now = self._clock()
         for request, result in zip(batch, results):
+            if isinstance(result, QuarantinedTaskError):
+                # A resilient backend quarantined this one task; the
+                # rest of the batch still resolves with proofs.
+                followers = (
+                    self.cache.abandon(request.cache_key)
+                    if request.cache_key is not None
+                    else []
+                )
+                for ticket in [request.ticket] + followers:
+                    ticket._fail(result)
+                self.stats.record_failure(1 + len(followers))
+                bctx.emit(
+                    "quarantined",
+                    request_id=request.request_id,
+                    task_id=result.task_id,
+                    tried_on=result.tried_on,
+                )
+                continue
             followers = (
                 self.cache.fulfill(request.cache_key, result)
                 if request.cache_key is not None
@@ -311,6 +343,16 @@ class ProofService:
         exc: Exception,
         bctx: SpanContext,
     ) -> None:
+        """Fail a batch's leaders; give single-flight followers one retry.
+
+        A follower coalesced onto a leader whose batch then failed never
+        had its *own* attempt — failing it would convert one transient
+        backend error into N client-visible errors.  Instead the first
+        follower is promoted to a fresh leader request (``attempt=2``)
+        and re-enqueued once; remaining followers park on it.  A batch
+        that fails on attempt 2 fails everyone — one independent retry,
+        not a loop.
+        """
         error = ProofError(f"batch of {len(batch)} failed: {exc}")
         error.__cause__ = exc
         count = 0
@@ -320,11 +362,86 @@ class ProofService:
                 if request.cache_key is not None
                 else []
             )
-            for ticket in [request.ticket] + followers:
-                ticket._fail(error)
-                count += 1
+            request.ticket._fail(error)
+            count += 1
+            if followers and request.attempt < 2:
+                self._requeue_followers(request, followers, bctx)
+            else:
+                for ticket in followers:
+                    ticket._fail(error)
+                    count += 1
         self.stats.record_failure(count)
         bctx.emit("batch_failed", size=len(batch), reason=repr(exc))
+
+    def _requeue_followers(
+        self,
+        request: ProofRequest,
+        followers: List[Ticket],
+        bctx: SpanContext,
+    ) -> None:
+        """Promote the first follower to a retry leader; park the rest."""
+        leader, rest = followers[0], followers[1:]
+        outcome, value = self.cache.claim(request.cache_key, leader)
+        if outcome == "hit":
+            # Someone fulfilled the key between abandon and re-claim.
+            for ticket in followers:
+                ticket._resolve(value, source="cache")
+            return
+        for ticket in rest:
+            self.cache.claim(request.cache_key, ticket)
+        if outcome == "joined":
+            return  # an independent submitter already leads a fresh attempt
+        retry = ProofRequest(
+            request_id=leader.request_id,
+            payload=request.payload,
+            circuit_key=request.circuit_key,
+            witness_key=request.witness_key,
+            priority=leader.priority,
+            submitted_at=leader.submitted_at,
+            deadline=leader.deadline,
+            ticket=leader,
+            attempt=request.attempt + 1,
+        )
+        with self._cond:
+            self._pending.append(retry)
+            self._cond.notify_all()
+        self.stats.record_follower_retry(1 + len(rest))
+        bctx.emit(
+            "follower_retry",
+            request_id=leader.request_id,
+            failed_leader=request.request_id,
+            parked=len(rest),
+            attempt=retry.attempt,
+        )
+
+    def _batcher_error(self, batch: List[ProofRequest], exc: Exception) -> None:
+        """Last-resort guard for exceptions that escape :meth:`_dispatch`.
+
+        Fails only the in-flight batch's unresolved tickets (and their
+        single-flight followers); the batcher thread survives to serve
+        the rest of the queue.
+        """
+        self.stats.record_batcher_error()
+        error = ServiceError(f"batch dispatch crashed: {exc}")
+        error.__cause__ = exc
+        count = 0
+        for request in batch:
+            followers = (
+                self.cache.abandon(request.cache_key)
+                if request.cache_key is not None
+                else []
+            )
+            for ticket in [request.ticket] + followers:
+                if not ticket.done():
+                    ticket._fail(error)
+                    count += 1
+        self.stats.record_failure(count)
+        self._span.emit(
+            "batcher_error",
+            size=len(batch),
+            request_ids=[r.request_id for r in batch],
+            reason=repr(exc),
+        )
 
     # -- lifecycle ------------------------------------------------------------
 

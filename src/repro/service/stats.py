@@ -43,6 +43,12 @@ class ServiceStats:
         self.coalesced = 0
         #: Completions that landed after their request's deadline.
         self.deadline_misses = 0
+        #: Unexpected exceptions that escaped a batch dispatch (the
+        #: batcher guard caught them; the thread kept running).
+        self.batcher_errors = 0
+        #: Single-flight followers re-enqueued for an independent attempt
+        #: after their leader's batch failed.
+        self.follower_retries = 0
         #: One entry per dispatched batch.
         self.batch_sizes: List[int] = []
         #: Queue depth sampled at each submit and each batch formation.
@@ -95,6 +101,14 @@ class ServiceStats:
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
             self.failed += count
+
+    def record_batcher_error(self) -> None:
+        with self._lock:
+            self.batcher_errors += 1
+
+    def record_follower_retry(self, count: int = 1) -> None:
+        with self._lock:
+            self.follower_retries += count
 
     def sample_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -182,7 +196,9 @@ class ServiceStats:
         lines = [
             f"submitted       : {self.submitted} "
             f"({self.arrival_rate_per_second:.1f} req/s)",
-            f"completed       : {self.completed} ({self.failed} failed)",
+            f"completed       : {self.completed} ({self.failed} failed, "
+            f"{self.follower_retries} follower retries, "
+            f"{self.batcher_errors} batcher errors)",
             f"rejected        : {rejections}",
             f"cache           : {self.cache_hits} hits, "
             f"{self.coalesced} coalesced "

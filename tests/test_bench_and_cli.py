@@ -118,7 +118,7 @@ class TestCli:
     def test_prove_serial(self, capsys):
         assert cli_main(["prove", "--tasks", "2", "--gates", "32"]) == 0
         out = capsys.readouterr().out
-        assert "all proofs verify: True" in out
+        assert "all 2 returned proofs verify: True" in out
         assert "throughput" in out
 
     def test_prove_parallel_with_trace(self, capsys, tmp_path):
@@ -128,7 +128,7 @@ class TestCli:
             "--workers", "2", "--trace", trace,
         ]) == 0
         out = capsys.readouterr().out
-        assert "all proofs verify: True" in out
+        assert "all 3 returned proofs verify: True" in out
         import json
 
         events = [json.loads(line) for line in open(trace)]

@@ -181,6 +181,31 @@ class TestRobustness:
         assert stats.retries == 1
         assert verify_all(spec.build_verifier(), proofs, tasks)
 
+    def test_serial_timeout_recorded_not_preempted(self, setup, tmp_path):
+        """Serial overruns are counted and traced with the same run-level
+        event shape as the pooled path, but the proof still lands."""
+        _, spec, tasks = setup
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTraceSink(path) as sink:
+            runtime = ParallelProvingRuntime(
+                spec, workers=1, trace=sink,
+                task_timeout_seconds=1e-6, max_retries=0,
+            )
+            proofs, stats = runtime.prove_tasks(tasks)
+        assert len(proofs) == len(tasks)  # recorded, not preempted
+        assert stats.timeouts == len(tasks)
+        assert verify_all(spec.build_verifier(), proofs, tasks)
+        events = [json.loads(line) for line in open(path)]
+        overruns = [e for e in events if e["event"] == "timeout"]
+        assert [e["tasks"] for e in overruns] == [
+            [t.task_id] for t in tasks
+        ]
+        assert all(e["seconds"] > 0 for e in overruns)
+        run_span = next(
+            e for e in events if e["event"] == "run_start"
+        )["span"]
+        assert all(e["span"] == run_span for e in overruns)
+
     def test_invalid_configuration_rejected(self, setup):
         _, spec, _ = setup
         with pytest.raises(ProofError):

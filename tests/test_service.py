@@ -7,7 +7,12 @@ import time
 import pytest
 
 from repro.core import ProofTask, SnarkProver, make_pcs, random_circuit
-from repro.errors import AdmissionError, ProofError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    ProofError,
+    QuarantinedTaskError,
+    ServiceError,
+)
 from repro.field import DEFAULT_FIELD
 from repro.runtime import JsonlTraceSink, ProverSpec
 from repro.service import (
@@ -619,3 +624,144 @@ class TestEndToEnd:
         assert all(verifier.verify(p, cc.public_values) for p in proofs)
         assert svc.stats.completed == len(tickets)
         assert svc.stats.failed == 0
+
+
+# -- failure recovery (S25 satellites) ----------------------------------------
+
+class GatedFlakyBackend:
+    """Holds the first prove_batch open, then fails the first N calls.
+
+    The gate keeps the leader's batch in flight while followers coalesce
+    onto its cache claim, which is the exact shape the single-flight
+    retry path has to recover.
+    """
+
+    def __init__(self, inner, failures=1):
+        self.inner = inner
+        self.failures = failures
+        self.release = threading.Event()
+        self.calls = 0
+
+    def prove_batch(self, circuit_key, requests):
+        self.calls += 1
+        if self.calls == 1:
+            self.release.wait(timeout=30)
+        if self.calls <= self.failures:
+            raise RuntimeError("transient farm fault")
+        return self.inner.prove_batch(circuit_key, requests)
+
+
+class TestFailureRecovery:
+    def test_follower_retries_independently_after_batch_failure(
+        self, circuits, backend
+    ):
+        """A coalesced follower never had its own attempt: one batch
+        failure must cost the leader, not every parked duplicate."""
+        cc, _, key = circuits["a"]
+        flaky = GatedFlakyBackend(backend, failures=1)
+        policy = BatchPolicy(max_batch_size=4, max_wait_seconds=0.0)
+        with ProofService(flaky, policy=policy, max_queue=16) as svc:
+            leader = svc.submit(
+                _task(cc, 0), circuit_key=key, witness_key=_wkey(0)
+            )
+            time.sleep(0.05)  # leader's batch is gated in flight
+            follower = svc.submit(
+                _task(cc, 0), circuit_key=key, witness_key=_wkey(0)
+            )
+            flaky.release.set()
+            with pytest.raises(ProofError, match="batch of"):
+                leader.result(timeout=30)
+            proof = follower.result(timeout=30)  # promoted retry proved it
+            verifier = backend.verifier_for(key)
+            assert verifier.verify(proof, cc.public_values)
+        assert flaky.calls == 2
+        assert svc.stats.follower_retries == 1
+        assert svc.stats.failed == 1
+        assert svc.stats.completed == 1
+
+    def test_second_failure_fails_followers_too(self, circuits, backend):
+        """One independent retry, not a loop: attempt 2 failing is
+        terminal for the promoted follower and everyone parked on it."""
+        cc, _, key = circuits["a"]
+        flaky = GatedFlakyBackend(backend, failures=2)
+        policy = BatchPolicy(max_batch_size=4, max_wait_seconds=0.0)
+        with ProofService(flaky, policy=policy, max_queue=16) as svc:
+            leader = svc.submit(
+                _task(cc, 0), circuit_key=key, witness_key=_wkey(0)
+            )
+            time.sleep(0.05)
+            followers = [
+                svc.submit(
+                    _task(cc, 0), circuit_key=key, witness_key=_wkey(0)
+                )
+                for _ in range(2)
+            ]
+            flaky.release.set()
+            for ticket in [leader] + followers:
+                with pytest.raises(ProofError, match="batch of"):
+                    ticket.result(timeout=30)
+        assert flaky.calls == 2  # no third attempt
+        assert svc.stats.follower_retries == 2
+        assert svc.stats.failed == 3
+
+    def test_quarantined_slot_fails_only_its_ticket(self, circuits, backend):
+        cc, _, key = circuits["a"]
+
+        class QuarantineOneBackend:
+            def prove_batch(self, circuit_key, requests):
+                results = backend.prove_batch(circuit_key, requests)
+                return [
+                    QuarantinedTaskError(13, ["0:serial"], "poison")
+                    if r.payload.task_id == 13 else proof
+                    for r, proof in zip(requests, results)
+                ]
+
+        policy = BatchPolicy(max_batch_size=2, max_wait_seconds=0.2)
+        with ProofService(
+            QuarantineOneBackend(), policy=policy, max_queue=16
+        ) as svc:
+            good = svc.submit(
+                _task(cc, 0), circuit_key=key, witness_key=_wkey(0)
+            )
+            bad = svc.submit(
+                _task(cc, 13), circuit_key=key, witness_key=_wkey(13)
+            )
+            verifier = backend.verifier_for(key)
+            assert verifier.verify(good.result(timeout=30), cc.public_values)
+            with pytest.raises(QuarantinedTaskError, match="task 13"):
+                bad.result(timeout=30)
+        assert svc.stats.completed == 1
+        assert svc.stats.failed == 1
+
+    def test_batcher_survives_dispatch_crash(self, circuits, backend):
+        """A bug escaping _dispatch fails that batch's tickets and
+        nothing else; the scheduler thread keeps serving the queue."""
+        cc, _, key = circuits["a"]
+        policy = BatchPolicy(max_batch_size=1, max_wait_seconds=0.0)
+        with ProofService(backend, policy=policy, max_queue=16) as svc:
+            real_dispatch = svc._dispatch
+            crashes = {"n": 0}
+
+            def buggy_dispatch(batch):
+                if crashes["n"] == 0:
+                    crashes["n"] += 1
+                    raise RuntimeError("scheduler bug")
+                return real_dispatch(batch)
+
+            svc._dispatch = buggy_dispatch
+            doomed = svc.submit(
+                _task(cc, 0), circuit_key=key, witness_key=_wkey(0)
+            )
+            with pytest.raises(ServiceError, match="dispatch crashed"):
+                doomed.result(timeout=30)
+            healthy = svc.submit(
+                _task(cc, 1), circuit_key=key, witness_key=_wkey(1)
+            )
+            verifier = backend.verifier_for(key)
+            assert verifier.verify(
+                healthy.result(timeout=30), cc.public_values
+            )
+            assert svc._batcher.is_alive()
+        assert svc.stats.batcher_errors == 1
+        assert svc.stats.failed == 1
+        assert svc.stats.completed == 1
