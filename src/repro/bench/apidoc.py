@@ -15,6 +15,7 @@ from typing import List
 SUBPACKAGES = [
     "repro.field",
     "repro.hashing",
+    "repro.kernels",
     "repro.merkle",
     "repro.sumcheck",
     "repro.encoder",

@@ -39,15 +39,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import CommitmentError
 from ..field.multilinear import eq_table
 from ..field.prime_field import PrimeField
+from ..field.primes import MERSENNE61
+from ..kernels.dispatch import kernels_enabled
 from ..hashing.hashers import Hasher, get_hasher
 from ..hashing.transcript import Transcript
+from ..kernels.field_kernels import combine_rows, pack_vector
+from ..kernels.profile import stage as _stage
+from ..kernels.spec_cache import cached_encoder
 from ..merkle.multiproof import MerkleMultiProof, open_multi
 from ..merkle.proof import MerklePath
 from ..merkle.tree import MerkleTree
-from ..encoder.spielman import EncoderParams, SpielmanEncoder
+from ..encoder.spielman import EncoderParams
 
 DEFAULT_COLUMN_CHECKS = 24
 
@@ -194,11 +201,13 @@ class BrakedownPCS:
             num_col_checks=num_col_checks,
             compress_openings=compress_openings,
         )
-        self.encoder = SpielmanEncoder(
+        # Expander graphs are deterministic in (modulus, length, params,
+        # seed); the memo shares them across prover/verifier instances.
+        self.encoder = cached_encoder(
             field,
             self.params.num_cols,
             self.params.encoder_params,
-            seed=seed,
+            seed,
         )
 
     # -- commit ---------------------------------------------------------------
@@ -214,12 +223,38 @@ class BrakedownPCS:
         p = self.field.modulus
         cols = params.num_cols
         matrix = [
-            [evals[r * cols + c] % p for c in range(cols)]
+            [v % p for v in evals[r * cols : (r + 1) * cols]]
             for r in range(params.num_rows)
         ]
-        encoded = [self.encoder.encode(row) for row in matrix]
-        columns = list(zip(*encoded))
-        tree = MerkleTree.from_field_vectors(self.field, columns, self.hasher)
+        if (
+            kernels_enabled()
+            and self.field.modulus == MERSENNE61
+            and params.num_rows >= 2
+        ):
+            # Batched fast path: one 2-D SpMV sweep per encoder stage, and
+            # leaf packing straight out of the transposed codeword matrix
+            # (bit-identical to per-row encode + per-column pack_vector).
+            with _stage("encode"):
+                cw = self.encoder._encode_batch61(
+                    np.asarray(matrix, dtype=np.uint64)
+                )
+            encoded = cw.tolist()
+            with _stage("merkle"):
+                raw = np.ascontiguousarray(cw.T).astype("<u8", copy=False).tobytes()
+                stride = 8 * params.num_rows
+                blocks = [
+                    raw[i * stride : (i + 1) * stride]
+                    for i in range(cw.shape[1])
+                ]
+                tree = MerkleTree(self.hasher.hash_many(blocks), self.hasher)
+        else:
+            with _stage("encode"):
+                encoded = [self.encoder.encode(row) for row in matrix]
+            with _stage("merkle"):
+                columns = list(zip(*encoded))
+                tree = MerkleTree.from_field_vectors(
+                    self.field, columns, self.hasher
+                )
         commitment = Commitment(root=tree.root, params=params)
         return commitment, ProverState(
             matrix=matrix, encoded=encoded, tree=tree, params=params
@@ -243,21 +278,8 @@ class BrakedownPCS:
         z_lo, z_hi = self._split_point(point)
         q_col = eq_table(self.field, z_lo)
         q_row = eq_table(self.field, z_hi)
-        combined = self._combine_rows(state.matrix, q_row)
+        combined = combine_rows(self.field, state.matrix, q_row)
         return self.field.dot(combined, q_col)
-
-    def _combine_rows(
-        self, matrix: Sequence[Sequence[int]], coeffs: Sequence[int]
-    ) -> List[int]:
-        p = self.field.modulus
-        width = len(matrix[0])
-        out = [0] * width
-        for coeff, row in zip(coeffs, matrix):
-            if coeff == 0:
-                continue
-            for j, v in enumerate(row):
-                out[j] += coeff * v
-        return [v % p for v in out]
 
     # -- open -------------------------------------------------------------------------
 
@@ -275,12 +297,12 @@ class BrakedownPCS:
         r_coeffs = transcript.challenge_field_vector(
             b"pcs/proximity", field, params.num_rows
         )
-        proximity_row = self._combine_rows(state.matrix, r_coeffs)
+        proximity_row = combine_rows(field, state.matrix, r_coeffs)
         transcript.absorb_field_vector(b"pcs/prox-row", field, proximity_row)
 
         # Evaluation row: eq(z_hi)ᵀ · M.
         q_row = eq_table(field, z_hi)
-        evaluation_row = self._combine_rows(state.matrix, q_row)
+        evaluation_row = combine_rows(field, state.matrix, q_row)
         transcript.absorb_field_vector(b"pcs/eval-row", field, evaluation_row)
 
         # Column spot checks.
@@ -359,16 +381,25 @@ class BrakedownPCS:
         for opening in proof.columns:
             if len(opening.values) != params.num_rows:
                 return False
+        # Restrict the codeword matrix U to the opened columns and run both
+        # linear checks as row combinations (one shared kernel pass each):
+        # row i of the restriction is U[i][j] for each opened j.
+        restricted = [
+            [opening.values[i] for opening in proof.columns]
+            for i in range(params.num_rows)
+        ]
+        prox_combined = combine_rows(field, restricted, r_coeffs)
+        eval_combined = combine_rows(field, restricted, q_row)
+        for pos, opening in enumerate(proof.columns):
             j = opening.index
-            if field.dot(r_coeffs, opening.values) != prox_code[j]:
+            if prox_combined[pos] != prox_code[j]:
                 return False
-            if field.dot(q_row, opening.values) != eval_code[j]:
+            if eval_combined[pos] != eval_code[j]:
                 return False
 
-        expected_leaves = [
-            self.hasher.hash_bytes(field.vector_to_bytes(c.values))
-            for c in proof.columns
-        ]
+        expected_leaves = self.hasher.hash_many(
+            [pack_vector(field, c.values) for c in proof.columns]
+        )
         if params.compress_openings:
             mp = proof.multiproof
             if mp is None:

@@ -19,6 +19,16 @@ from typing import List, Sequence, Tuple
 
 from ..errors import SumcheckError
 from ..field.prime_field import PrimeField
+from ..kernels import field_kernels as _kernels
+from ..kernels.dispatch import kernels_enabled
+
+try:
+    import numpy as _np
+
+    from ..field import fast61 as _f61
+except ImportError:  # pragma: no cover - numpy is part of the base image
+    _np = None
+    _f61 = None
 
 DEGREE = 3
 
@@ -43,13 +53,32 @@ class ConstraintSumcheckProver:
         p = field.modulus
         self.field = field
         self.num_vars = n
-        self._eq = [v % p for v in eq_tab]
-        self._az = [v % p for v in az]
-        self._bz = [v % p for v in bz]
-        self._cz = [v % p for v in cz]
+        state = None
+        if (
+            _f61 is not None
+            and kernels_enabled()
+            and p == _f61._P61_INT
+            and length >= 32
+        ):
+            # Array state: the four tables live as uint64 arrays for the
+            # whole sum-check, so rounds never convert list↔array.
+            try:
+                state = [
+                    _np.asarray(t, dtype=_np.uint64) for t in (eq_tab, az, bz, cz)
+                ]
+                state = [a % _f61.P61 if (a >= _f61.P61).any() else a for a in state]
+            except (OverflowError, TypeError, ValueError):
+                state = None  # negative / oversized entries: take the int path
+        if state is not None:
+            self._eq, self._az, self._bz, self._cz = state
+        else:
+            self._eq = [v % p for v in eq_tab]
+            self._az = [v % p for v in az]
+            self._bz = [v % p for v in bz]
+            self._cz = [v % p for v in cz]
         self._round = 0
-        self.claimed_sum = (
-            sum(e * (a * b - c) for e, a, b, c in zip(self._eq, az, bz, cz)) % p
+        self.claimed_sum = _kernels.constraint_claimed_sum(
+            field, self._eq, self._az, self._bz, self._cz
         )
 
     @property
@@ -60,42 +89,16 @@ class ConstraintSumcheckProver:
         """Evaluations of this round's g at t = 0, 1, 2, 3."""
         if self._round >= self.num_vars:
             raise SumcheckError("sum-check already complete")
-        p = self.field.modulus
-        half = len(self._eq) // 2
-        evals = [0, 0, 0, 0]
-        eq, az, bz, cz = self._eq, self._az, self._bz, self._cz
-        for b in range(half):
-            e_lo, e_hi = eq[b], eq[b + half]
-            a_lo, a_hi = az[b], az[b + half]
-            b_lo, b_hi = bz[b], bz[b + half]
-            c_lo, c_hi = cz[b], cz[b + half]
-            de = e_hi - e_lo
-            da = a_hi - a_lo
-            db = b_hi - b_lo
-            dc = c_hi - c_lo
-            e_t, a_t, b_t, c_t = e_lo, a_lo, b_lo, c_lo
-            for t in range(DEGREE + 1):
-                evals[t] = (evals[t] + e_t * (a_t * b_t - c_t)) % p
-                if t < DEGREE:
-                    e_t += de
-                    a_t += da
-                    b_t += db
-                    c_t += dc
-        return evals
+        return _kernels.constraint_round_cubic(
+            self.field, self._eq, self._az, self._bz, self._cz
+        )
 
     def fold(self, r: int) -> None:
         if self._round >= self.num_vars:
             raise SumcheckError("sum-check already complete")
-        p = self.field.modulus
-        half = len(self._eq) // 2
-        r %= p
-        for name in ("_eq", "_az", "_bz", "_cz"):
-            tab = getattr(self, name)
-            setattr(
-                self,
-                name,
-                [(tab[b] + r * (tab[b + half] - tab[b])) % p for b in range(half)],
-            )
+        self._eq, self._az, self._bz, self._cz = _kernels.fold_product_tables(
+            self.field, (self._eq, self._az, self._bz, self._cz), r
+        )
         self._round += 1
 
     def final_values(self) -> Tuple[int, int, int, int]:
@@ -104,7 +107,14 @@ class ConstraintSumcheckProver:
             raise SumcheckError(
                 f"{self.rounds_remaining} rounds remaining; cannot finalize"
             )
-        return (self._eq[0], self._az[0], self._bz[0], self._cz[0])
+        # int() unwraps numpy scalars from array state — callers do big-int
+        # arithmetic, and Python math on np.uint64 silently wraps mod 2^64.
+        return (
+            int(self._eq[0]),
+            int(self._az[0]),
+            int(self._bz[0]),
+            int(self._cz[0]),
+        )
 
     def final_value(self) -> int:
         e, a, b, c = self.final_values()

@@ -24,8 +24,11 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..errors import CircuitError
+from ..field import fast61 as _f61
 from ..field.multilinear import eq_table
 from ..field.prime_field import PrimeField
+from ..field.primes import MERSENNE61
+from ..kernels.dispatch import kernels_enabled
 
 SparseRow = List[Tuple[int, int]]
 
@@ -123,11 +126,50 @@ class R1CS:
             out[i] = acc % p
         return out
 
+    def _f61_ops(self, transpose: bool) -> Tuple[_f61.F61SpMV, ...]:
+        """Cached vectorised edge sets for A, B, C (built on first use).
+
+        ``transpose=False`` maps witness → constraints (matvec);
+        ``transpose=True`` maps constraints → witness (row combination).
+        """
+        attr = "_f61_cols" if transpose else "_f61_rows"
+        cached = getattr(self, attr, None)
+        if cached is None:
+            n_vars, n_cons = self.padded_vars, self.padded_constraints
+            ops = []
+            for rows in (self.a_rows, self.b_rows, self.c_rows):
+                src: List[int] = []
+                dst: List[int] = []
+                wval: List[int] = []
+                for i, row in enumerate(rows):
+                    for j, v in row:
+                        src.append(i if transpose else j)
+                        dst.append(j if transpose else i)
+                        wval.append(v)
+                if transpose:
+                    ops.append(_f61.F61SpMV(src, dst, wval, n_cons, n_vars))
+                else:
+                    ops.append(_f61.F61SpMV(src, dst, wval, n_vars, n_cons))
+            cached = tuple(ops)
+            setattr(self, attr, cached)
+        return cached
+
+    def _use_f61(self) -> bool:
+        return kernels_enabled() and self.field.modulus == MERSENNE61
+
     def matvec_tables(
         self, z: Sequence[int]
     ) -> Tuple[List[int], List[int], List[int]]:
         """Return (Az, Bz, Cz) over the padded constraint domain."""
         padded = self.pad_witness(z) if len(z) == self.num_vars else list(z)
+        if self._use_f61():
+            x = _f61.as_f61(padded)
+            op_a, op_b, op_c = self._f61_ops(transpose=False)
+            return (
+                op_a.apply(x).tolist(),
+                op_b.apply(x).tolist(),
+                op_c.apply(x).tolist(),
+            )
         return (
             self._matvec(self.a_rows, padded),
             self._matvec(self.b_rows, padded),
@@ -169,6 +211,22 @@ class R1CS:
                 f"{self.padded_constraints}"
             )
         p = self.field.modulus
+        if self._use_f61():
+            # Vectorised: scale the eq-table by each batching coefficient
+            # and push it through the transposed edge sets.
+            eq_arr = _f61.as_f61(list(eq_x))
+            total = None
+            for coeff, op in zip(
+                (coeff_a, coeff_b, coeff_c), self._f61_ops(transpose=True)
+            ):
+                coeff %= p
+                if coeff == 0:
+                    continue
+                part = op.apply(_f61.f61_scale(coeff, eq_arr))
+                total = part if total is None else _f61.f61_add(total, part)
+            if total is None:
+                return [0] * self.padded_vars
+            return total.tolist()
         out = [0] * self.padded_vars
         for coeff, rows in (
             (coeff_a, self.a_rows),
@@ -214,13 +272,37 @@ class R1CS:
             self.mle_eval(self.c_rows, eq_x, eq_y),
         )
 
+    # -- pickling -------------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the vectorised edge-set caches — they rebuild on first use
+        and would otherwise inflate worker-bound spec pickles by O(nnz)."""
+        state = dict(self.__dict__)
+        state.pop("_f61_rows", None)
+        state.pop("_f61_cols", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- identity -------------------------------------------------------------------------
 
     def digest(self, hasher=None) -> bytes:
-        """A hash binding the constraint system (absorbed into transcripts)."""
+        """A hash binding the constraint system (absorbed into transcripts).
+
+        O(nnz) to serialize, so the default-hasher digest is memoized on
+        the instance — the spec cache and transcripts request it per
+        proof.  (Rows are never mutated after construction.)
+        """
         from ..hashing.hashers import get_hasher
 
-        hasher = hasher or get_hasher("sha256-hw")
+        if hasher is None:
+            cached = getattr(self, "_default_digest", None)
+            if cached is not None:
+                return cached
+            digest = self.digest(get_hasher("sha256-hw"))
+            self._default_digest = digest
+            return digest
         parts = [
             self.field.modulus.to_bytes(64, "little"),
             self.num_constraints.to_bytes(8, "little"),

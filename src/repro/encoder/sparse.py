@@ -22,8 +22,11 @@ import numpy as np
 
 from ..errors import EncodingError
 from ..field.fast31 import f31_mul
+from ..field.fast61 import F61SpMV, as_f61
 from ..field.prime_field import PrimeField
-from ..field.primes import MERSENNE31
+from ..field.primes import MERSENNE31, MERSENNE61
+from ..kernels import field_kernels as _kernels
+from ..kernels.dispatch import kernels_enabled
 
 MAX_ROW_WEIGHT = 255  # rows must fit a single byte of length (§3.3)
 
@@ -34,7 +37,7 @@ class SparseMatrix:
     ``rows[i]`` lists the ``(column, weight)`` pairs of left vertex ``i``.
     """
 
-    __slots__ = ("field", "n_in", "n_out", "rows", "_coo")
+    __slots__ = ("field", "n_in", "n_out", "rows", "_coo", "_f61")
 
     def __init__(
         self,
@@ -60,6 +63,7 @@ class SparseMatrix:
         self.n_out = n_out
         self.rows = rows
         self._coo: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._f61: Optional[F61SpMV] = None
 
     # -- construction -------------------------------------------------------
 
@@ -111,17 +115,32 @@ class SparseMatrix:
     # -- application ----------------------------------------------------------
 
     def apply(self, x: Sequence[int]) -> List[int]:
-        """Compute ``y = x · A`` over the field (pure-Python path)."""
+        """Compute ``y = x · A`` over the field (SpMV kernel).
+
+        On the fast path with the default Mersenne-61 field this is the
+        vectorised gather/segment-sum of :class:`~repro.field.fast61.F61SpMV`,
+        built (and cached) from the adjacency lists on first use.  Results
+        are bit-identical to the scalar kernel — the limb arithmetic is
+        exact.
+        """
         if len(x) != self.n_in:
             raise EncodingError(f"input length {len(x)} != n_in {self.n_in}")
-        p = self.field.modulus
-        y = [0] * self.n_out
-        for xi, row in zip(x, self.rows):
-            if xi == 0:
-                continue
-            for j, w in row:
-                y[j] += xi * w
-        return [v % p for v in y]
+        if kernels_enabled() and self.field.modulus == MERSENNE61:
+            return self._ensure_f61().apply(as_f61(x)).tolist()
+        return _kernels.spmv(self.field, self.rows, x, self.n_out)
+
+    def _ensure_f61(self) -> F61SpMV:
+        if self._f61 is None:
+            src: List[int] = []
+            dst: List[int] = []
+            wval: List[int] = []
+            for i, row in enumerate(self.rows):
+                for j, w in row:
+                    src.append(i)
+                    dst.append(j)
+                    wval.append(w)
+            self._f61 = F61SpMV(src, dst, wval, self.n_in, self.n_out)
+        return self._f61
 
     def _ensure_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._coo is None:

@@ -39,6 +39,8 @@ from .trace import (
     load_trace,
     request_lineage,
     span_index,
+    stage_breakdown,
+    stage_breakdown_of,
 )
 
 __apidoc__ = """\
@@ -84,4 +86,6 @@ __all__ = [
     "request_lineage",
     "resolve_backend",
     "span_index",
+    "stage_breakdown",
+    "stage_breakdown_of",
 ]

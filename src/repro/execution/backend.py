@@ -46,6 +46,8 @@ from typing import (
 from ..core.batch import ProofTask
 from ..core.proof import SnarkProof
 from ..errors import ExecutionError, ProofError
+from ..kernels.profile import collect_stages
+from ..kernels.spec_cache import default_spec_cache
 from ..runtime.pool import ParallelProvingRuntime
 from ..runtime.spec import ProverSpec
 from ..runtime.stats import RuntimeStats, TaskRecord, merge_runtime_stats
@@ -169,7 +171,12 @@ class SerialBackend:
     ) -> Tuple[List[SnarkProof], RuntimeStats]:
         tasks = list(tasks)
         ctx = _span_for(trace, parent)
-        prover = self._provers.get_or_build(spec, lambda s: s.build_prover())
+        # Identity cache first (adopted provers win), then the process-wide
+        # value-keyed SpecCache, so two backends over the same circuit
+        # share one derivation.
+        prover = self._provers.get_or_build(
+            spec, lambda s: default_spec_cache().get_prover(s)
+        )
         stats = RuntimeStats(workers=1)
         start = time.perf_counter()
         ctx.emit("run_start", backend=self.name, tasks=len(tasks), workers=1)
@@ -184,7 +191,8 @@ class SerialBackend:
                     if injector is not None:
                         injector(task.task_id, attempt)
                     t0 = time.perf_counter()
-                    proof = prover.prove(task.witness, task.public_values)
+                    with collect_stages() as profile:
+                        proof = prover.prove(task.witness, task.public_values)
                     prove_seconds = time.perf_counter() - t0
                     break
                 except Exception as exc:
@@ -207,6 +215,7 @@ class SerialBackend:
             if corrupt is not None:
                 proof = corrupt(proof, task.task_id)
             stats.busy_seconds += prove_seconds
+            stages = profile.as_dict()
             stats.records.append(
                 TaskRecord(
                     task_id=task.task_id,
@@ -214,12 +223,19 @@ class SerialBackend:
                     prove_seconds=prove_seconds,
                     latency_seconds=time.perf_counter() - submitted,
                     worker=None,
+                    stage_seconds=stages or None,
                 )
             )
-            ctx.child("task", span=f"{ctx.span}/t{task.task_id}").emit(
+            task_ctx = ctx.child("task", span=f"{ctx.span}/t{task.task_id}")
+            task_ctx.emit(
                 "complete", task_id=task.task_id, attempt=attempt,
                 seconds=prove_seconds,
             )
+            if stages:
+                task_ctx.emit(
+                    "stage_timing", task_id=task.task_id,
+                    seconds=prove_seconds, stages=stages,
+                )
             proofs.append(proof)
         stats.total_seconds = time.perf_counter() - start
         ctx.emit(

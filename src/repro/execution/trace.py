@@ -180,3 +180,41 @@ def format_lineage(lineage: RequestLineage) -> str:
 def lineage_of(path: str, request_id: int) -> RequestLineage:
     """Convenience: :func:`load_trace` + :func:`request_lineage`."""
     return request_lineage(load_trace(path), request_id)
+
+
+def stage_breakdown(
+    events: Iterable[dict], task_id: Optional[int] = None
+) -> Dict[str, float]:
+    """Per-stage proving seconds replayed from ``stage_timing`` events.
+
+    Answers the paper's §4 question — where does a proof's time go? —
+    from one JSONL trace file: each ``stage_timing`` event carries a
+    ``stages`` mapping (commit ⊃ encode + merkle, sumcheck1, sumcheck2,
+    open); this sums them across the trace, or for a single proof when
+    ``task_id`` is given.  Raises :class:`~repro.errors.ExecutionError`
+    when a requested task has no stage events (e.g. a pre-profiling
+    trace).
+    """
+    from ..kernels.profile import StageProfile
+
+    totals = StageProfile()
+    matched = False
+    for event in events:
+        if event.get("event") != "stage_timing":
+            continue
+        if task_id is not None and event.get("task_id") != task_id:
+            continue
+        matched = True
+        totals.merge(event.get("stages") or {})
+    if task_id is not None and not matched:
+        raise ExecutionError(
+            f"task {task_id} has no stage_timing events in the trace"
+        )
+    return totals.as_dict()
+
+
+def stage_breakdown_of(
+    path: str, task_id: Optional[int] = None
+) -> Dict[str, float]:
+    """Convenience: :func:`load_trace` + :func:`stage_breakdown`."""
+    return stage_breakdown(load_trace(path), task_id)

@@ -17,6 +17,7 @@ import random
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import FieldError
+from ..kernels import field_kernels as _kernels
 from .prime_field import PrimeField
 
 
@@ -79,25 +80,18 @@ class MultilinearPolynomial:
     def evaluate(self, point: Sequence[int]) -> int:
         """Evaluate the multilinear extension at an arbitrary field point.
 
-        Folds one variable at a time: O(2^n) multiplications.
+        Folds one variable at a time: O(2^n) multiplications.  The table
+        is LSB-first (x1 is bit 0), so the fold kernel pairs the two
+        *halves* (binding the most-significant variable) and consumes the
+        point from its last coordinate — never materializing per-index
+        bit decompositions.
         """
         if len(point) != self.num_vars:
             raise FieldError(
                 f"point has {len(point)} coordinates, polynomial has "
                 f"{self.num_vars} variables"
             )
-        p = self.field.modulus
-        table = list(self.evals)
-        # The table is LSB-first (x1 is bit 0), so pairing the two *halves*
-        # binds the most-significant variable x_n; iterate the point from
-        # its last coordinate so coordinates meet their own variables.
-        for r in reversed(point):
-            r %= p
-            half = len(table) // 2
-            table = [
-                (table[b] + r * (table[b + half] - table[b])) % p for b in range(half)
-            ]
-        return table[0]
+        return _kernels.evaluate_table(self.field, self.evals, point)
 
     def fix_last_variable(self, r: int) -> "MultilinearPolynomial":
         """Return p(x1, …, x_{n−1}, r) — the table fold of Algorithm 1 line 6.
@@ -108,15 +102,10 @@ class MultilinearPolynomial:
         so each round of the paper's prover binds the highest remaining
         variable.  This method is one such round.
         """
-        p = self.field.modulus
-        r %= p
         half = len(self.evals) // 2
         if half == 0:
             raise FieldError("cannot fix a variable of a constant polynomial")
-        folded = [
-            (self.evals[b] + r * (self.evals[b + half] - self.evals[b])) % p
-            for b in range(half)
-        ]
+        folded = _kernels.fold_table(self.field, self.evals, r)
         if half > 1:
             return MultilinearPolynomial(self.field, folded)
         return _constant(self.field, folded[0])
@@ -209,19 +198,9 @@ def eq_table(field: PrimeField, point: Sequence[int]) -> List[int]:
     (the paper's HyperPlonk/Libra-style protocols).
 
     Built iteratively in O(2^n) — the standard "expand one variable per
-    round" construction.
+    round" construction, batched by the doubling kernel.
     """
-    p = field.modulus
-    table = [1]
-    for r in point:
-        r %= p
-        one_minus = (1 - r) % p
-        nxt = [0] * (2 * len(table))
-        for b, t in enumerate(table):
-            nxt[b] = (t * one_minus) % p
-            nxt[b + len(table)] = (t * r) % p
-        table = nxt
-    return table
+    return _kernels.eq_table(field, point)
 
 
 def eq_eval(field: PrimeField, xs: Sequence[int], ys: Sequence[int]) -> int:

@@ -20,6 +20,8 @@ from .costs import (
     LIBSNARK_NTT,
     LIBSNARK_TOTAL,
     VendorLinearModel,
+    cpu_costs_from_stages,
+    stage_cost_fractions,
 )
 from .device import CPU_C5A_8XLARGE, GPU_CATALOG, CpuSpec, GpuSpec, get_gpu
 from .kernel import (
@@ -58,6 +60,8 @@ __all__ = [
     "BELLPERSON_MSM",
     "BELLPERSON_NTT",
     "BELLPERSON_MEMORY_GB",
+    "cpu_costs_from_stages",
+    "stage_cost_fractions",
     "KernelStage",
     "ModuleGraph",
     "allocate_threads_proportional",

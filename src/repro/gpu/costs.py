@@ -40,7 +40,7 @@ back-derived from the CPU columns of Tables 3–5.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Mapping
 
 
 @dataclass(frozen=True)
@@ -121,3 +121,73 @@ BELLPERSON_MEMORY_GB: Dict[int, float] = {
 
 DEFAULT_GPU_COSTS = GpuCostModel()
 DEFAULT_CPU_COSTS = CpuCostModel()
+
+
+# -- calibration from measured stage profiles ---------------------------------
+
+
+def stage_cost_fractions(stage_seconds: Mapping[str, float]) -> Dict[str, float]:
+    """Per-module time fractions from a measured stage profile.
+
+    Maps the functional prover's stage names onto the simulator's three
+    modules — ``merkle``, ``sumcheck`` (both sum-checks), ``encoder`` —
+    plus ``other`` (commit residue, opening).  ``commit`` itself is a
+    container (it includes ``encode`` and ``merkle``) and is excluded
+    from the total; fractions sum to 1 when any time was recorded.
+    """
+    merkle = stage_seconds.get("merkle", 0.0)
+    encode = stage_seconds.get("encode", 0.0)
+    sumcheck = stage_seconds.get("sumcheck1", 0.0) + stage_seconds.get(
+        "sumcheck2", 0.0
+    )
+    commit = stage_seconds.get("commit", 0.0)
+    opening = stage_seconds.get("open", 0.0)
+    other = max(0.0, commit - encode - merkle) + opening
+    total = merkle + encode + sumcheck + other
+    if total <= 0.0:
+        return {"merkle": 0.0, "sumcheck": 0.0, "encoder": 0.0, "other": 0.0}
+    return {
+        "merkle": merkle / total,
+        "sumcheck": sumcheck / total,
+        "encoder": encode / total,
+        "other": other / total,
+    }
+
+
+def cpu_costs_from_stages(
+    stage_seconds: Mapping[str, float],
+    *,
+    hashes: int,
+    sumcheck_entries: int,
+    encoder_macs: int,
+) -> CpuCostModel:
+    """A :class:`CpuCostModel` calibrated from measured stage wall time.
+
+    The functional prover *is* a CPU implementation, so its measured
+    per-stage seconds (a :class:`~repro.kernels.profile.StageProfile`, or
+    a ``stage_timing`` trace event's ``stages`` payload) divided by the
+    proof's work-unit counts give real per-unit rates the simulator can
+    run with.  Work units follow the module docstring's accounting: total
+    Merkle compressions (≈2·leaves), sum-check table-entry updates, and
+    encoder sparse multiply-adds.  Zero measured time for a stage keeps
+    the default constant (so partial profiles calibrate partially).
+    """
+    if min(hashes, sumcheck_entries, encoder_macs) <= 0:
+        raise ValueError("work-unit counts must be positive")
+    merkle = stage_seconds.get("merkle", 0.0)
+    sumcheck = stage_seconds.get("sumcheck1", 0.0) + stage_seconds.get(
+        "sumcheck2", 0.0
+    )
+    encode = stage_seconds.get("encode", 0.0)
+    base = DEFAULT_CPU_COSTS
+    return CpuCostModel(
+        hash_seconds=merkle / hashes if merkle > 0 else base.hash_seconds,
+        sumcheck_entry_seconds=(
+            sumcheck / sumcheck_entries
+            if sumcheck > 0
+            else base.sumcheck_entry_seconds
+        ),
+        encoder_mac_seconds=(
+            encode / encoder_macs if encode > 0 else base.encoder_mac_seconds
+        ),
+    )

@@ -20,32 +20,58 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import HashError
+from ..kernels.hash_kernels import sha256_compress_many, sha256_many
 from .sha256 import compress_block, sha256
 
 DIGEST_SIZE = 32
 
 
 class Hasher:
-    """A named 2-to-1 hash function with an arbitrary-input mode."""
+    """A named 2-to-1 hash function with an arbitrary-input mode.
 
-    __slots__ = ("name", "_hash_bytes", "_compress")
+    Besides the scalar ``hash_bytes``/``compress`` operations, a hasher
+    exposes the batched forms the Merkle pipeline stages actually issue —
+    ``hash_many`` (a layer of leaves per call) and ``compress_layer`` (a
+    layer of interior nodes per call).  Backends that support batching
+    (the SWAR SHA-256 kernels) plug in ``hash_many``/``compress_pairs``
+    callables; everything else falls back to the scalar loop, so the two
+    forms are always byte-identical.
+    """
+
+    __slots__ = ("name", "_hash_bytes", "_compress", "_hash_many", "_compress_pairs", "_zero_digests")
 
     def __init__(
         self,
         name: str,
         hash_bytes: Callable[[bytes], bytes],
         compress: Callable[[bytes, bytes], bytes],
+        hash_many: Optional[Callable[[Sequence[bytes]], List[bytes]]] = None,
+        compress_pairs: Optional[Callable[[Sequence[bytes]], List[bytes]]] = None,
     ):
         self.name = name
         self._hash_bytes = hash_bytes
         self._compress = compress
+        self._hash_many = hash_many
+        self._compress_pairs = compress_pairs
+        # data length -> digest of that many zero bytes (Merkle pad filler).
+        self._zero_digests: Dict[int, bytes] = {}
 
     def hash_bytes(self, data: bytes) -> bytes:
         """Digest arbitrary bytes to 32 bytes."""
         return self._hash_bytes(data)
+
+    def hash_many(self, messages: Sequence[bytes]) -> List[bytes]:
+        """Digest many byte strings — one whole Merkle-leaf layer per call.
+
+        Equal to ``[self.hash_bytes(m) for m in messages]`` byte-for-byte.
+        """
+        if self._hash_many is not None:
+            return self._hash_many(messages)
+        hash_bytes = self._hash_bytes
+        return [hash_bytes(m) for m in messages]
 
     def compress(self, left: bytes, right: bytes) -> bytes:
         """Compress two 32-byte digests into one (a Merkle interior node)."""
@@ -55,6 +81,35 @@ class Hasher:
                 f"{len(left)} and {len(right)}"
             )
         return self._compress(left, right)
+
+    def compress_layer(self, layer: Sequence[bytes]) -> List[bytes]:
+        """Compress one even-length Merkle layer into its parent layer.
+
+        ``layer[2i], layer[2i+1] → parent[i]``; byte-identical to calling
+        :meth:`compress` per pair, but batched backends (SWAR SHA-256)
+        process the whole layer in wide lanes.
+        """
+        if len(layer) % 2:
+            raise HashError(f"compress_layer needs an even layer, got {len(layer)}")
+        for d in layer:
+            if len(d) != DIGEST_SIZE:
+                raise HashError(
+                    f"compress_layer expects {DIGEST_SIZE}-byte digests, got {len(d)}"
+                )
+        if self._compress_pairs is not None:
+            return self._compress_pairs(
+                [layer[i] + layer[i + 1] for i in range(0, len(layer), 2)]
+            )
+        compress = self._compress
+        return [compress(layer[i], layer[i + 1]) for i in range(0, len(layer), 2)]
+
+    def zero_digest(self, num_bytes: int) -> bytes:
+        """Memoized digest of ``num_bytes`` zero bytes (the Merkle pad filler)."""
+        digest = self._zero_digests.get(num_bytes)
+        if digest is None:
+            digest = self._hash_bytes(b"\x00" * num_bytes)
+            self._zero_digests[num_bytes] = digest
+        return digest
 
     def __repr__(self) -> str:
         return f"Hasher({self.name!r})"
@@ -96,6 +151,8 @@ def _make_sha256_scratch() -> Hasher:
         "sha256",
         hash_bytes=sha256,
         compress=lambda left, right: compress_block(left + right),
+        hash_many=sha256_many,
+        compress_pairs=sha256_compress_many,
     )
 
 
@@ -103,12 +160,24 @@ def _make_sha256_hw() -> Hasher:
     def _hash(data: bytes) -> bytes:
         return hashlib.sha256(data).digest()
 
+    def _hash_many(messages: Sequence[bytes]) -> List[bytes]:
+        new = hashlib.sha256
+        return [new(m).digest() for m in messages]
+
     def _comp(left: bytes, right: bytes) -> bytes:
         # NOTE: hashlib pads, so to remain bit-identical to the scratch
         # compress we run the raw compression from our own implementation.
         return compress_block(left + right)
 
-    return Hasher("sha256-hw", hash_bytes=_hash, compress=_comp)
+    # Interior nodes need the *raw* compression hashlib cannot compute, so
+    # the "hw" hasher also batches them through the SWAR kernel.
+    return Hasher(
+        "sha256-hw",
+        hash_bytes=_hash,
+        compress=_comp,
+        hash_many=_hash_many,
+        compress_pairs=sha256_compress_many,
+    )
 
 
 def _make_quick() -> Hasher:
@@ -125,15 +194,24 @@ _REGISTRY: Dict[str, Callable[[], Hasher]] = {
     "quick": _make_quick,
 }
 
+# Hashers are stateless apart from their memo caches, so the registry hands
+# out one instance per name — that makes per-hasher caches (the Merkle pad
+# filler digest) effective across tree constructions.
+_INSTANCES: Dict[str, Hasher] = {}
+
 
 def get_hasher(name: str = "sha256") -> Hasher:
     """Look up a hasher by name; raises :class:`HashError` for unknown names."""
+    hasher = _INSTANCES.get(name)
+    if hasher is not None:
+        return hasher
     try:
-        return _REGISTRY[name]()
+        factory = _REGISTRY[name]
     except KeyError:
         raise HashError(
             f"unknown hasher {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
+    return _INSTANCES.setdefault(name, factory())
 
 
 def available_hashers() -> list:

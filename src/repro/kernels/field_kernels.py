@@ -1,0 +1,519 @@
+"""Batched field-vector kernels for the proving hot path.
+
+The paper's discipline is to split each module into per-stage kernels and
+size them to measured costs (§3, §4).  The functional prover's analogue of
+a "kernel" is a whole-vector pass written so the Python interpreter does
+as little per-element work as possible:
+
+* iterate with ``zip`` over slices instead of indexing (one bytecode per
+  element instead of four);
+* accumulate products *lazily* as unbounded ints and reduce mod p once
+  per output, not once per term;
+* special-case the coefficients the protocol actually produces (zero
+  coefficients from sparse eq-tables, the degree-2/3 round polynomials of
+  the two sum-checks).
+
+Every kernel has a ``_reference_*`` twin — the naive per-element loop the
+codebase used before this layer — selected by
+:func:`repro.kernels.dispatch.use_reference_kernels`.  The twins are the
+oracle for the golden-parity tests and the baseline for
+``benchmarks/bench_hotpath.py``.
+
+All functions take and return *raw ints already reduced mod p* (the
+:class:`~repro.field.PrimeField` hot-loop convention).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from .dispatch import kernels_enabled
+
+try:  # The Mersenne-61 numpy layer; ``fast61`` only needs errors/primes,
+    # so this import keeps the kernels package cycle-free.
+    import numpy as _np
+
+    from ..field import fast61 as _f61
+except ImportError:  # pragma: no cover - numpy is part of the base image
+    _np = None
+    _f61 = None
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; kernels must stay an
+    # import leaf so field/, hashing/, encoder/ can import it cycle-free.
+    from ..field.prime_field import PrimeField
+
+__all__ = [
+    "fold_table",
+    "fold_product_tables",
+    "eq_table",
+    "combine_rows",
+    "spmv",
+    "product_round_quadratic",
+    "constraint_round_cubic",
+    "constraint_claimed_sum",
+    "constraint_violation",
+    "product_pair_sum",
+    "evaluate_table",
+    "evaluate_table_bits",
+    "pack_vector",
+]
+
+# Below this size the numpy fixed costs (array creation, ufunc dispatch)
+# exceed the pure-Python loop; both sub-paths are exact, so the switch
+# never changes a result.
+_NP_MIN = 32
+
+
+def _np_ok(field: "PrimeField", n: int) -> bool:
+    """True when the vectorised Mersenne-61 path applies."""
+    return _f61 is not None and n >= _NP_MIN and field.modulus == _f61._P61_INT
+
+
+# -- sum-check folds ---------------------------------------------------------
+
+
+def _reference_fold_table(field: PrimeField, table: Sequence[int], r: int) -> List[int]:
+    """Naive fold: ``A[b] ← A[b] + r·(A[b+half] − A[b])`` by index."""
+    p = field.modulus
+    r %= p
+    half = len(table) // 2
+    return [(table[b] + r * (table[b + half] - table[b])) % p for b in range(half)]
+
+
+def fold_table(field: PrimeField, table: Sequence[int], r: int) -> List[int]:
+    """One sum-check fold (Algorithm 1 line 6) over a half-table.
+
+    Pairs entry ``b`` with ``b + half`` — the most-significant live
+    variable is bound, matching every sum-check prover in the repo.
+    """
+    if not kernels_enabled():
+        return _reference_fold_table(field, table, r)
+    p = field.modulus
+    r %= p
+    half = len(table) // 2
+    is_arr = _np is not None and isinstance(table, _np.ndarray)
+    if is_arr or _np_ok(field, half):
+        arr = _f61.as_f61(table)
+        lo, hi = arr[:half], arr[half:]
+        out = _f61.f61_add(lo, _f61.f61_scale(r, _f61.f61_sub(hi, lo)))
+        # Container-preserving: array-state provers keep arrays across
+        # rounds (no per-round conversion); list callers get lists back.
+        return out if is_arr else out.tolist()
+    # zip of the table against its own upper half stops at `half` pairs;
+    # no per-element index arithmetic survives in the loop body.
+    return [(lo + r * (hi - lo)) % p for lo, hi in zip(table, table[half:])]
+
+
+def fold_product_tables(
+    field: PrimeField, tables: Sequence[Sequence[int]], r: int
+) -> List[List[int]]:
+    """Fold every factor table of a product sum-check at the same challenge."""
+    return [fold_table(field, table, r) for table in tables]
+
+
+# -- eq-table doubling -------------------------------------------------------
+
+
+def _reference_eq_table(field: PrimeField, point: Sequence[int]) -> List[int]:
+    """Naive doubling construction with indexed writes."""
+    p = field.modulus
+    table = [1]
+    for r in point:
+        r %= p
+        one_minus = (1 - r) % p
+        nxt = [0] * (2 * len(table))
+        for b, t in enumerate(table):
+            nxt[b] = (t * one_minus) % p
+            nxt[b + len(table)] = (t * r) % p
+        table = nxt
+    return table
+
+
+def eq_table(field: PrimeField, point: Sequence[int]) -> List[int]:
+    """Table of ``eq(point, b)`` for all ``b ∈ {0,1}^n`` (doubling kernel).
+
+    Each doubling round is two whole-table comprehensions (scale by
+    ``1−r`` and by ``r``) concatenated — the same O(2^n) work as the
+    naive construction with none of the per-element index bookkeeping.
+    """
+    if not kernels_enabled():
+        return _reference_eq_table(field, point)
+    p = field.modulus
+    if _np_ok(field, 1 << len(point)):
+        arr = _np.ones(1, dtype=_np.uint64)
+        for r in point:
+            r %= p
+            arr = _np.concatenate(
+                [_f61.f61_scale((1 - r) % p, arr), _f61.f61_scale(r, arr)]
+            )
+        return arr.tolist()
+    table = [1]
+    for r in point:
+        r %= p
+        one_minus = (1 - r) % p
+        table = [t * one_minus % p for t in table] + [t * r % p for t in table]
+    return table
+
+
+# -- row combination (Brakedown commit/open/verify) --------------------------
+
+
+def _reference_combine_rows(
+    field: PrimeField, matrix: Sequence[Sequence[int]], coeffs: Sequence[int]
+) -> List[int]:
+    """The original per-element indexed accumulation."""
+    p = field.modulus
+    width = len(matrix[0]) if matrix else 0
+    out = [0] * width
+    for coeff, row in zip(coeffs, matrix):
+        if coeff % p == 0:
+            continue
+        for j, v in enumerate(row):
+            out[j] += coeff * v
+    return [v % p for v in out]
+
+
+def combine_rows(
+    field: PrimeField, matrix: Sequence[Sequence[int]], coeffs: Sequence[int]
+) -> List[int]:
+    """Coefficient-sparse, lazily reduced ``Σ_i coeffs[i] · matrix[i]``.
+
+    The workhorse of the Brakedown commitment: the proximity row, the
+    evaluation row, and the verifier's per-column checks are all row
+    combinations.  Zero coefficients (common: boolean-point eq-tables
+    are one-hot) skip their row entirely; unit coefficients skip the
+    multiply; reduction happens once per output column.
+    """
+    if not kernels_enabled():
+        return _reference_combine_rows(field, matrix, coeffs)
+    p = field.modulus
+    width = len(matrix[0]) if matrix else 0
+    if matrix and _np_ok(field, width):
+        k = min(len(matrix), len(coeffs))
+        rows = _np.asarray(matrix[:k], dtype=_np.uint64)
+        c_arr = _np.asarray([c % p for c in coeffs[:k]], dtype=_np.uint64)
+        # One 2-D modular multiply, then exact column sums via 32-bit
+        # limb splitting (row counts far below the 2^29 overflow bound).
+        contrib = _f61.f61_mul(rows, c_arr[:, None])
+        return _f61.f61_columns_sum(contrib).tolist()
+    out = [0] * width
+    for coeff, row in zip(coeffs, matrix):
+        coeff %= p
+        if coeff == 0:
+            continue
+        if coeff == 1:
+            out = [acc + v for acc, v in zip(out, row)]
+        else:
+            out = [acc + coeff * v for acc, v in zip(out, row)]
+    return [v % p for v in out]
+
+
+# -- sparse matrix-vector multiply (encoder) ---------------------------------
+
+
+def _reference_spmv(
+    field: PrimeField,
+    rows: Sequence[Sequence[Tuple[int, int]]],
+    x: Sequence[int],
+    n_out: int,
+) -> List[int]:
+    """The original adjacency-list scatter loop."""
+    p = field.modulus
+    y = [0] * n_out
+    for xi, row in zip(x, rows):
+        if xi == 0:
+            continue
+        for j, w in row:
+            y[j] += xi * w
+    return [v % p for v in y]
+
+
+def spmv(
+    field: PrimeField,
+    rows: Sequence[Sequence[Tuple[int, int]]],
+    x: Sequence[int],
+    n_out: int,
+) -> List[int]:
+    """``y = x · A`` for an adjacency-list sparse matrix (encoder SpMV).
+
+    Lazy accumulation with a single reduction pass; zero inputs skip
+    their whole adjacency row (systematic padding makes these common).
+    """
+    if not kernels_enabled():
+        return _reference_spmv(field, rows, x, n_out)
+    p = field.modulus
+    y = [0] * n_out
+    for xi, row in zip(x, rows):
+        if not xi:
+            continue
+        if xi == 1:
+            for j, w in row:
+                y[j] += w
+        else:
+            for j, w in row:
+                y[j] += xi * w
+    return [v % p for v in y]
+
+
+# -- specialized sum-check round polynomials ---------------------------------
+
+
+def _reference_product_round_quadratic(
+    field: PrimeField, ta: Sequence[int], tb: Sequence[int]
+) -> List[int]:
+    """The generic interpolation loop specialized to two factors."""
+    p = field.modulus
+    half = len(ta) // 2
+    evals = [0, 0, 0]
+    for b in range(half):
+        a_lo, a_hi = ta[b], ta[b + half]
+        b_lo, b_hi = tb[b], tb[b + half]
+        da = (a_hi - a_lo) % p
+        db = (b_hi - b_lo) % p
+        cur_a, cur_b = a_lo, b_lo
+        for t in range(3):
+            evals[t] = (evals[t] + cur_a * cur_b) % p
+            if t < 2:
+                cur_a = (cur_a + da) % p
+                cur_b = (cur_b + db) % p
+    return evals
+
+
+def product_round_quadratic(
+    field: PrimeField, ta: Sequence[int], tb: Sequence[int]
+) -> List[int]:
+    """Round polynomial ``g(t) = Σ_b (a_lo + t·Δa)(b_lo + t·Δb)`` at t=0,1,2.
+
+    One fused pass over both half-tables: ``g(0) = Σ lo·lo``,
+    ``g(1) = Σ hi·hi``, ``g(2) = Σ (2hi−lo)(2hi−lo)`` — accumulated as
+    unbounded ints and reduced once per evaluation point.
+    """
+    if not kernels_enabled():
+        return _reference_product_round_quadratic(field, ta, tb)
+    p = field.modulus
+    half = len(ta) // 2
+    if (_np is not None and isinstance(ta, _np.ndarray)) or _np_ok(field, half):
+        a = _f61.as_f61(ta)
+        b = _f61.as_f61(tb)
+        a_lo, a_hi = a[:half], a[half:]
+        b_lo, b_hi = b[:half], b[half:]
+        a2 = _f61.f61_sub(_f61.f61_add(a_hi, a_hi), a_lo)
+        b2 = _f61.f61_sub(_f61.f61_add(b_hi, b_hi), b_lo)
+        return [
+            _f61.f61_dot(a_lo, b_lo),
+            _f61.f61_dot(a_hi, b_hi),
+            _f61.f61_dot(a2, b2),
+        ]
+    g0 = g1 = g2 = 0
+    for a_lo, a_hi, b_lo, b_hi in zip(ta, ta[half:], tb, tb[half:]):
+        g0 += a_lo * b_lo
+        g1 += a_hi * b_hi
+        g2 += (2 * a_hi - a_lo) * (2 * b_hi - b_lo)
+    return [g0 % p, g1 % p, g2 % p]
+
+
+def _reference_constraint_round_cubic(
+    field: PrimeField,
+    eq: Sequence[int],
+    az: Sequence[int],
+    bz: Sequence[int],
+    cz: Sequence[int],
+) -> List[int]:
+    """The original stepped-interpolation loop of the constraint prover."""
+    p = field.modulus
+    half = len(eq) // 2
+    evals = [0, 0, 0, 0]
+    for b in range(half):
+        e_lo, e_hi = eq[b], eq[b + half]
+        a_lo, a_hi = az[b], az[b + half]
+        b_lo, b_hi = bz[b], bz[b + half]
+        c_lo, c_hi = cz[b], cz[b + half]
+        de = e_hi - e_lo
+        da = a_hi - a_lo
+        db = b_hi - b_lo
+        dc = c_hi - c_lo
+        e_t, a_t, b_t, c_t = e_lo, a_lo, b_lo, c_lo
+        for t in range(4):
+            evals[t] = (evals[t] + e_t * (a_t * b_t - c_t)) % p
+            if t < 3:
+                e_t += de
+                a_t += da
+                b_t += db
+                c_t += dc
+    return evals
+
+
+def constraint_round_cubic(
+    field: PrimeField,
+    eq: Sequence[int],
+    az: Sequence[int],
+    bz: Sequence[int],
+    cz: Sequence[int],
+) -> List[int]:
+    """Round polynomial of ``Σ eq·(az·bz − cz)`` at t = 0, 1, 2, 3.
+
+    Direct extrapolation: the linear interpolant of a table pair at
+    t = 2 is ``2·hi − lo`` and at t = 3 is ``3·hi − 2·lo``, so all four
+    evaluations come out of one zip pass with lazy reduction.
+    """
+    if not kernels_enabled():
+        return _reference_constraint_round_cubic(field, eq, az, bz, cz)
+    p = field.modulus
+    half = len(eq) // 2
+    if (_np is not None and isinstance(eq, _np.ndarray)) or _np_ok(field, half):
+        splits = []
+        for table in (eq, az, bz, cz):
+            arr = _f61.as_f61(table)
+            lo, hi = arr[:half], arr[half:]
+            d = _f61.f61_sub(hi, lo)
+            # Linear interpolant at t = 2 is hi + Δ, at t = 3 is hi + 2Δ.
+            t2 = _f61.f61_add(hi, d)
+            splits.append((lo, hi, t2, _f61.f61_add(t2, d)))
+        e, a, b, c = splits
+        return [
+            _f61.f61_sum(
+                _f61.f61_mul(e[t], _f61.f61_sub(_f61.f61_mul(a[t], b[t]), c[t]))
+            )
+            for t in range(4)
+        ]
+    g0 = g1 = g2 = g3 = 0
+    for e_lo, e_hi, a_lo, a_hi, b_lo, b_hi, c_lo, c_hi in zip(
+        eq, eq[half:], az, az[half:], bz, bz[half:], cz, cz[half:]
+    ):
+        g0 += e_lo * (a_lo * b_lo - c_lo)
+        g1 += e_hi * (a_hi * b_hi - c_hi)
+        e2 = 2 * e_hi - e_lo
+        a2 = 2 * a_hi - a_lo
+        b2 = 2 * b_hi - b_lo
+        c2 = 2 * c_hi - c_lo
+        g2 += e2 * (a2 * b2 - c2)
+        g3 += (e2 + e_hi - e_lo) * ((a2 + a_hi - a_lo) * (b2 + b_hi - b_lo) - (c2 + c_hi - c_lo))
+    return [g0 % p, g1 % p, g2 % p, g3 % p]
+
+
+def constraint_claimed_sum(
+    field: PrimeField,
+    eq: Sequence[int],
+    az: Sequence[int],
+    bz: Sequence[int],
+    cz: Sequence[int],
+) -> int:
+    """``Σ_b eq[b]·(az[b]·bz[b] − cz[b]) mod p`` (sum-check #1's claim)."""
+    p = field.modulus
+    if not kernels_enabled():
+        return sum(e * (a * b - c) for e, a, b, c in zip(eq, az, bz, cz)) % p
+    if (_np is not None and isinstance(eq, _np.ndarray)) or _np_ok(field, len(eq)):
+        e = _f61.as_f61(eq)
+        a = _f61.as_f61(az)
+        b = _f61.as_f61(bz)
+        c = _f61.as_f61(cz)
+        return _f61.f61_sum(_f61.f61_mul(e, _f61.f61_sub(_f61.f61_mul(a, b), c)))
+    return sum(e * (a * b - c) for e, a, b, c in zip(eq, az, bz, cz)) % p
+
+
+def constraint_violation(
+    field: PrimeField,
+    az: Sequence[int],
+    bz: Sequence[int],
+    cz: Sequence[int],
+) -> bool:
+    """True when some constraint fails ``az·bz = cz`` (satisfaction check)."""
+    p = field.modulus
+    if not kernels_enabled():
+        return any((a * b - c) % p for a, b, c in zip(az, bz, cz))
+    if (_np is not None and isinstance(az, _np.ndarray)) or _np_ok(field, len(az)):
+        a = _f61.as_f61(az)
+        b = _f61.as_f61(bz)
+        c = _f61.as_f61(cz)
+        return bool(_f61.f61_sub(_f61.f61_mul(a, b), c).any())
+    return any((a * b - c) % p for a, b, c in zip(az, bz, cz))
+
+
+def product_pair_sum(field: PrimeField, ta: Sequence[int], tb: Sequence[int]) -> int:
+    """``Σ_b ta[b]·tb[b]`` with one final reduction (claimed-sum kernel)."""
+    if not kernels_enabled():
+        p = field.modulus
+        total = 0
+        for a, b in zip(ta, tb):
+            total = (total + a * b) % p
+        return total
+    if (_np is not None and isinstance(ta, _np.ndarray)) or _np_ok(field, len(ta)):
+        return _f61.f61_dot(_f61.as_f61(ta), _f61.as_f61(tb))
+    return sum(a * b for a, b in zip(ta, tb)) % field.modulus
+
+
+# -- multilinear point evaluation --------------------------------------------
+
+
+def evaluate_table_bits(
+    field: PrimeField, table: Sequence[int], point: Sequence[int]
+) -> int:
+    """Naive per-index evaluation: materialize every index's bits.
+
+    ``Σ_b table[b] · ∏_i (b_i·r_i + (1−b_i)(1−r_i))`` — O(n·2^n)
+    multiplications.  Kept as the oracle for the fold-based evaluation's
+    equivalence test; never used on the hot path.
+    """
+    p = field.modulus
+    n = len(point)
+    total = 0
+    for b, v in enumerate(table):
+        term = v % p
+        for i in range(n):
+            bit = (b >> i) & 1
+            r = point[i] % p
+            term = (term * (r if bit else (1 - r))) % p
+        total = (total + term) % p
+    return total
+
+
+def evaluate_table(
+    field: PrimeField, table: Sequence[int], point: Sequence[int]
+) -> int:
+    """Fold-based multilinear-extension evaluation: O(2^n) multiplies.
+
+    Folds the most-significant variable each pass (the table is
+    LSB-first, so the two *halves* are paired), consuming the point from
+    its last coordinate — identical binding order to the sum-check
+    provers.
+    """
+    if kernels_enabled() and _np_ok(field, len(table)):
+        p = field.modulus
+        arr = _f61.as_f61(table)
+        for r in reversed(point):
+            half = arr.size // 2
+            lo, hi = arr[:half], arr[half:]
+            arr = _f61.f61_add(lo, _f61.f61_scale(r % p, _f61.f61_sub(hi, lo)))
+        return int(arr[0])
+    current = list(table)
+    for r in reversed(point):
+        current = fold_table(field, current, r)
+    return current[0] % field.modulus
+
+
+# -- vector serialization ----------------------------------------------------
+
+
+def _reference_pack_vector(field: PrimeField, values: Sequence[int]) -> bytes:
+    """The original per-element serialization loop."""
+    return b"".join(field.to_bytes(v) for v in values)
+
+
+def pack_vector(field: PrimeField, values: Sequence[int]) -> bytes:
+    """Serialize a residue vector to little-endian fixed-width bytes.
+
+    For 8-byte fields (the default M61) a whole vector packs as one
+    ``uint64`` array dump — byte-for-byte what per-element ``to_bytes``
+    produces.  Non-canonical or oversized inputs fall back to the
+    reference path, which reduces mod p exactly like ``to_bytes``.
+    """
+    if not kernels_enabled():
+        return _reference_pack_vector(field, values)
+    if _np is not None and field.byte_length == 8 and values:
+        try:
+            arr = _np.asarray(values, dtype="<u8")
+        except (OverflowError, TypeError):
+            return _reference_pack_vector(field, values)
+        if not bool((arr >= _np.uint64(field.modulus)).any()):
+            return arr.tobytes()
+    return _reference_pack_vector(field, values)

@@ -1,0 +1,102 @@
+"""Per-proof stage profiling (the paper's measured per-stage costs, §4).
+
+The paper sizes its pipeline stages from *measured* per-stage costs; this
+module is the functional prover's measuring tape.  Instrumented code
+wraps each pipeline stage in :func:`stage`, and a caller that wants the
+breakdown wraps the whole proof in :func:`collect_stages`:
+
+>>> from repro.kernels.profile import collect_stages, stage
+>>> with collect_stages() as profile:
+...     with stage("merkle"):
+...         pass
+>>> sorted(profile.seconds) == ["merkle"]
+True
+
+When no collector is active the :func:`stage` context manager is a no-op
+(one ContextVar read), so the instrumentation stays in production code.
+The collector is a ContextVar, so concurrent proofs in different threads
+(the sharded backend) each see their own profile.
+
+Stages may nest: ``encode`` and ``merkle`` run inside ``commit``, and
+every stage accumulates its own wall time independently — so ``commit``
+includes its children, and ``commit − encode − merkle`` is the
+commit-phase residue (transposes, padding, transcript absorption).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["StageProfile", "collect_stages", "stage", "STAGE_NAMES"]
+
+#: Canonical stage names emitted by the instrumented proving pipeline, in
+#: pipeline order.  ``commit`` contains ``encode`` and ``merkle``.
+STAGE_NAMES: Tuple[str, ...] = (
+    "commit",
+    "encode",
+    "merkle",
+    "sumcheck1",
+    "sumcheck2",
+    "open",
+)
+
+
+@dataclass
+class StageProfile:
+    """Accumulated wall-clock seconds per pipeline stage for one proof."""
+
+    seconds: Dict[str, float] = dc_field(default_factory=dict)
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds into stage ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain dict copy in canonical-then-insertion order."""
+        ordered = {n: self.seconds[n] for n in STAGE_NAMES if n in self.seconds}
+        for name, value in self.seconds.items():
+            if name not in ordered:
+                ordered[name] = value
+        return ordered
+
+    def merge(self, other: Dict[str, float]) -> None:
+        """Accumulate another profile's stage seconds into this one."""
+        for name, value in other.items():
+            self.add(name, value)
+
+
+_ACTIVE: ContextVar[Optional[StageProfile]] = ContextVar(
+    "repro_stage_profile", default=None
+)
+
+
+@contextmanager
+def collect_stages() -> Iterator[StageProfile]:
+    """Collect stage timings from everything proved inside the block."""
+    profile = StageProfile()
+    token = _ACTIVE.set(profile)
+    try:
+        yield profile
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Attribute the enclosed block's wall time to stage ``name``.
+
+    Free (a single ContextVar read) when no collector is active.
+    """
+    profile = _ACTIVE.get()
+    if profile is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        profile.add(name, time.perf_counter() - start)

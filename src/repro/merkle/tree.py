@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import MerkleError
 from ..hashing.hashers import DIGEST_SIZE, Hasher, get_hasher
+from ..kernels.field_kernels import pack_vector
 from .proof import MerklePath
 
 BLOCK_SIZE = 64  # 512-bit input blocks, as in the paper.
@@ -43,7 +44,7 @@ def pad_leaves(leaves: Sequence[bytes], hasher: Hasher) -> List[bytes]:
     if _is_power_of_two(n):
         return list(leaves)
     target = 1 << n.bit_length()
-    filler = hasher.hash_bytes(b"\x00" * BLOCK_SIZE)
+    filler = hasher.zero_digest(BLOCK_SIZE)
     return list(leaves) + [filler] * (target - n)
 
 
@@ -70,12 +71,9 @@ class MerkleTree:
         padded = pad_leaves(leaf_digests, self.hasher)
         self.num_leaves = len(leaf_digests)
         self.layers: List[List[bytes]] = [padded]
-        compress = self.hasher.compress
         current = padded
         while len(current) > 1:
-            current = [
-                compress(current[i], current[i + 1]) for i in range(0, len(current), 2)
-            ]
+            current = self.hasher.compress_layer(current)
             self.layers.append(current)
 
     # -- constructors -------------------------------------------------------
@@ -90,7 +88,7 @@ class MerkleTree:
         (512-bit) blocks.
         """
         hasher = hasher or get_hasher("sha256")
-        leaves = [hasher.hash_bytes(b) for b in blocks]
+        leaves = hasher.hash_many(blocks)
         return cls(leaves, hasher)
 
     @classmethod
@@ -106,7 +104,7 @@ class MerkleTree:
         *column* across all rows of the coefficient matrix.
         """
         hasher = hasher or get_hasher("sha256")
-        leaves = [hasher.hash_bytes(field.vector_to_bytes(col)) for col in columns]
+        leaves = hasher.hash_many([pack_vector(field, col) for col in columns])
         return cls(leaves, hasher)
 
     # -- queries ------------------------------------------------------------------
@@ -167,13 +165,22 @@ def merkle_root_streaming(
     The root is identical to :class:`MerkleTree`'s.
     """
     hasher = hasher or get_hasher("sha256")
-    layer = [hasher.hash_bytes(b) for b in blocks]
+    # Leaf-hash in bounded chunks: the batched kernels get full lanes while
+    # the block iterable is still consumed incrementally.
+    layer: List[bytes] = []
+    chunk: List[bytes] = []
+    for block in blocks:
+        chunk.append(block)
+        if len(chunk) >= 256:
+            layer.extend(hasher.hash_many(chunk))
+            chunk = []
+    if chunk:
+        layer.extend(hasher.hash_many(chunk))
     if not layer:
         raise MerkleError("cannot build a Merkle tree over zero leaves")
     layer = pad_leaves(layer, hasher)
-    compress = hasher.compress
     while len(layer) > 1:
-        layer = [compress(layer[i], layer[i + 1]) for i in range(0, len(layer), 2)]
+        layer = hasher.compress_layer(layer)
     return layer[0]
 
 

@@ -39,6 +39,8 @@ from ..core.batch import ProofTask
 from ..core.proof import SnarkProof
 from ..core.prover import SnarkProver
 from ..errors import ProofError
+from ..kernels.profile import collect_stages
+from ..kernels.spec_cache import default_spec_cache
 from .spec import ProverSpec
 from .stats import RuntimeStats, TaskRecord
 from .trace import JsonlTraceSink, SpanContext, ambient_span
@@ -50,30 +52,38 @@ _WORKER_STATE: dict = {}
 
 
 def _init_worker(spec: ProverSpec, fault_injector: Optional[FaultInjector]) -> None:
-    """Pool initializer: build this worker's prover once from the spec."""
-    _WORKER_STATE["prover"] = spec.build_prover()
+    """Pool initializer: resolve this worker's prover through the spec cache.
+
+    The cache is process-global, so a worker that survives across runs of
+    the same circuit (one pool, many batches) derives setup exactly once.
+    """
+    _WORKER_STATE["prover"] = default_spec_cache().get_prover(spec)
     _WORKER_STATE["fault"] = fault_injector
 
 
 def _prove_chunk(
     chunk: Sequence[Tuple[int, ProofTask, int]]
-) -> List[Tuple[int, SnarkProof, float, int]]:
+) -> List[Tuple[int, SnarkProof, float, int, Dict[str, float]]]:
     """Worker body: prove every (index, task, attempt) in the chunk.
 
-    Returns ``(index, proof, prove_seconds, worker_pid)`` per task.  Any
-    exception (including an injected fault) propagates to the dispatcher,
-    which retries; a chunk fails as a unit and is split on retry.
+    Returns ``(index, proof, prove_seconds, worker_pid, stage_seconds)``
+    per task.  Any exception (including an injected fault) propagates to
+    the dispatcher, which retries; a chunk fails as a unit and is split
+    on retry.
     """
     prover: SnarkProver = _WORKER_STATE["prover"]
     fault: Optional[FaultInjector] = _WORKER_STATE.get("fault")
-    out: List[Tuple[int, SnarkProof, float, int]] = []
+    out: List[Tuple[int, SnarkProof, float, int, Dict[str, float]]] = []
     pid = os.getpid()
     for index, task, attempt in chunk:
         if fault is not None:
             fault(task.task_id, attempt)
         start = time.perf_counter()
-        proof = prover.prove(task.witness, task.public_values)
-        out.append((index, proof, time.perf_counter() - start, pid))
+        with collect_stages() as profile:
+            proof = prover.prove(task.witness, task.public_values)
+        out.append(
+            (index, proof, time.perf_counter() - start, pid, profile.as_dict())
+        )
     return out
 
 
@@ -227,7 +237,9 @@ class ParallelProvingRuntime:
         """
         prover = self._serial_prover
         if prover is None:
-            prover = self._serial_prover = self.spec.build_prover()
+            prover = self._serial_prover = default_spec_cache().get_prover(
+                self.spec
+            )
         proofs: List[SnarkProof] = []
         for task in tasks:
             submitted = time.perf_counter()
@@ -237,7 +249,8 @@ class ParallelProvingRuntime:
                     if self.fault_injector is not None:
                         self.fault_injector(task.task_id, attempt)
                     t0 = time.perf_counter()
-                    proof = prover.prove(task.witness, task.public_values)
+                    with collect_stages() as profile:
+                        proof = prover.prove(task.witness, task.public_values)
                     prove_seconds = time.perf_counter() - t0
                     break
                 except Exception as exc:
@@ -266,6 +279,7 @@ class ParallelProvingRuntime:
                     "timeout", tasks=[task.task_id], seconds=prove_seconds
                 )
             stats.busy_seconds += prove_seconds
+            stages = profile.as_dict()
             stats.records.append(
                 TaskRecord(
                     task_id=task.task_id,
@@ -273,12 +287,18 @@ class ParallelProvingRuntime:
                     prove_seconds=prove_seconds,
                     latency_seconds=time.perf_counter() - submitted,
                     worker=None,
+                    stage_seconds=stages or None,
                 )
             )
             self._emit_task(
                 "complete", task.task_id, attempt=attempt,
                 seconds=prove_seconds,
             )
+            if stages:
+                self._emit_task(
+                    "stage_timing", task.task_id, seconds=prove_seconds,
+                    stages=stages,
+                )
             proofs.append(proof)
         return proofs
 
@@ -415,7 +435,7 @@ class ParallelProvingRuntime:
                         fail_item(item, repr(exc))
                         continue
                     attempts_by_index = dict(item.items)
-                    for index, proof, prove_seconds, pid in chunk_out:
+                    for index, proof, prove_seconds, pid, stages in chunk_out:
                         if index in results:
                             continue  # stale duplicate of a timed-out chunk
                         record = TaskRecord(
@@ -426,6 +446,7 @@ class ParallelProvingRuntime:
                                 time.perf_counter() - submitted_at[index]
                             ),
                             worker=pid,
+                            stage_seconds=stages or None,
                         )
                         results[index] = (proof, record)
                         stats.busy_seconds += prove_seconds
@@ -435,6 +456,12 @@ class ParallelProvingRuntime:
                             attempt=record.attempts, seconds=prove_seconds,
                             worker=pid,
                         )
+                        if stages:
+                            self._emit_task(
+                                "stage_timing", record.task_id,
+                                seconds=prove_seconds, stages=stages,
+                                worker=pid,
+                            )
                 elif deadline is not None and now > deadline:
                     # Abandon the attempt; the occupied worker will finish
                     # eventually and its late result is discarded above.

@@ -12,7 +12,7 @@ mirroring what :mod:`repro.pipeline`'s simulator reports for the GPU half
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 # Shared percentile implementation; re-exported here so existing
 # ``from repro.runtime.stats import percentile`` imports keep working.
@@ -35,6 +35,10 @@ class TaskRecord:
     latency_seconds: float
     #: OS pid of the worker that produced the proof (None = proved inline).
     worker: Optional[int] = None
+    #: Per-stage proving seconds of the winning attempt (commit ⊃ encode +
+    #: merkle, sumcheck1, sumcheck2, open), when stage profiling captured
+    #: them; None for records from pre-profiling producers.
+    stage_seconds: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -111,6 +115,22 @@ class RuntimeStats:
     def total_attempts(self) -> int:
         return sum(r.attempts for r in self.records)
 
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed per-stage proving seconds across every task record.
+
+        Stage order follows :data:`repro.kernels.profile.STAGE_NAMES`
+        (pipeline order, ``commit`` containing ``encode``/``merkle``)
+        with unknown stages appended; empty when no record carried a
+        stage profile.
+        """
+        from ..kernels.profile import StageProfile
+
+        totals = StageProfile()
+        for record in self.records:
+            if record.stage_seconds:
+                totals.merge(record.stage_seconds)
+        return totals.as_dict()
+
     # -- presentation ---------------------------------------------------------
 
     def report(self) -> str:
@@ -129,6 +149,12 @@ class RuntimeStats:
             f"queue depth     : max {self.max_queue_depth}, "
             f"mean {self.mean_queue_depth:.1f}",
         ]
+        stages = self.stage_totals()
+        if stages:
+            split = "  ".join(
+                f"{name} {seconds * 1e3:.1f}ms" for name, seconds in stages.items()
+            )
+            lines.append(f"stage split     : {split}")
         return "\n".join(lines)
 
 

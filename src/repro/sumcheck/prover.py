@@ -25,6 +25,16 @@ from typing import List, Sequence, Tuple
 from ..errors import SumcheckError
 from ..field.multilinear import MultilinearPolynomial
 from ..field.prime_field import PrimeField
+from ..kernels import field_kernels as _kernels
+from ..kernels.dispatch import kernels_enabled
+
+try:
+    import numpy as _np
+
+    from ..field import fast61 as _f61
+except ImportError:  # pragma: no cover - numpy is part of the base image
+    _np = None
+    _f61 = None
 
 
 def prove_multilinear(
@@ -102,11 +112,7 @@ class MultilinearSumcheckProver:
         """Bind this round's variable to ``r`` (Algorithm 1 line 6)."""
         if self._round >= self.num_vars:
             raise SumcheckError("sum-check already complete")
-        p = self.field.modulus
-        a = self._table
-        half = len(a) // 2
-        r %= p
-        self._table = [(a[b] + r * (a[b + half] - a[b])) % p for b in range(half)]
+        self._table = _kernels.fold_table(self.field, self._table, r)
         self._round += 1
 
     def round(self, r: int) -> Tuple[int, int]:
@@ -148,12 +154,34 @@ class ProductSumcheckProver:
         self.num_vars = n
         self.degree = len(factors)
         p = field.modulus
-        self._tables = [[v % p for v in f] for f in factors]
+        tables = None
+        if (
+            _f61 is not None
+            and kernels_enabled()
+            and p == _f61._P61_INT
+            and self.degree == 2
+            and length >= 32
+        ):
+            # Array state for the SNARK's two-factor sum-check: tables stay
+            # uint64 arrays across every round (the generic-degree round
+            # loop below is pure Python, so higher degrees keep lists).
+            try:
+                tables = [_np.asarray(f, dtype=_np.uint64) for f in factors]
+                tables = [
+                    a % _f61.P61 if (a >= _f61.P61).any() else a for a in tables
+                ]
+            except (OverflowError, TypeError, ValueError):
+                tables = None  # negative / oversized entries: int path
+        if tables is None:
+            tables = [[v % p for v in f] for f in factors]
+        self._tables = tables
         self._round = 0
         self.claimed_sum = self._product_sum()
 
     def _product_sum(self) -> int:
         p = self.field.modulus
+        if self.degree == 2:
+            return _kernels.product_pair_sum(self.field, *self._tables)
         total = 0
         for b in range(len(self._tables[0])):
             term = 1
@@ -175,6 +203,10 @@ class ProductSumcheckProver:
         if self._round >= self.num_vars:
             raise SumcheckError("sum-check already complete")
         p = self.field.modulus
+        if self.degree == 2:
+            # The SNARK's second sum-check is always a two-factor product;
+            # the fused kernel computes g(0), g(1), g(2) in one pass.
+            return _kernels.product_round_quadratic(self.field, *self._tables)
         half = len(self._tables[0]) // 2
         evals = [0] * (self.degree + 1)
         for b in range(half):
@@ -196,13 +228,7 @@ class ProductSumcheckProver:
         """Bind this round's variable to the challenge ``r``."""
         if self._round >= self.num_vars:
             raise SumcheckError("sum-check already complete")
-        p = self.field.modulus
-        half = len(self._tables[0]) // 2
-        r %= p
-        for idx, tab in enumerate(self._tables):
-            self._tables[idx] = [
-                (tab[b] + r * (tab[b + half] - tab[b])) % p for b in range(half)
-            ]
+        self._tables = _kernels.fold_product_tables(self.field, self._tables, r)
         self._round += 1
 
     def round(self, r: int) -> List[int]:
@@ -217,7 +243,8 @@ class ProductSumcheckProver:
             raise SumcheckError(
                 f"{self.rounds_remaining} rounds remaining; cannot finalize"
             )
-        return [tab[0] for tab in self._tables]
+        # int() unwraps numpy scalars from array state (see fold_table).
+        return [int(tab[0]) for tab in self._tables]
 
     def final_value(self) -> int:
         p = self.field.modulus
