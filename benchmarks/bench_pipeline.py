@@ -1,0 +1,183 @@
+"""Stage-pipelined executor vs pool and serial at equal worker counts.
+
+The pipelined backend (S27) decomposes every proof into its stage units
+(encode → merkle → sumcheck → open) and streams them through per-stage
+worker groups sized from the measured *exclusive* stage fractions — the
+paper's pipelined batch design (Fig. 4), where stage k of proof i
+overlaps stage k+1 of proof i−1.  This benchmark answers the question
+that decides whether the pipeline earns its place:
+
+1. **Throughput** — at equal total workers, ``pipelined:W`` must match
+   or beat ``pool:W`` on uniform batches once the batch is long enough
+   to fill the pipeline; the sweep reports the crossover batch size.
+2. **Byte identity** — every backend's proofs serialize to the exact
+   serial bytes; overlap buys time, never a different transcript.
+
+Results land in ``BENCH_pipeline.json`` and a regression guard
+(``--min-ratio``, default 1.0x) exits nonzero when the pipeline stops
+keeping up with the pool at the largest swept batch.
+
+Run directly for a report:  PYTHONPATH=src python benchmarks/bench_pipeline.py
+Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_pipeline.py --quick
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.core import (
+    ProofTask,
+    SnarkProver,
+    make_pcs,
+    random_circuit,
+    serialize_proof,
+)
+from repro.execution import resolve_backend
+from repro.field import DEFAULT_FIELD
+from repro.runtime import ProverSpec
+
+GATES = 384
+WORKERS = 2
+BATCHES = (4, 8, 16, 32)
+QUICK_GATES = 128
+QUICK_BATCHES = (4, 8)
+
+
+def _setup(gates: int, tasks: int):
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=7)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
+    task_list = [
+        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
+    ]
+    return spec, task_list
+
+
+def _measure(selector: str, spec, task_list):
+    """One fresh backend run: wall seconds, throughput, wire bytes.
+
+    A fresh backend per measurement charges the pipelined warmup slice
+    (and the pool's worker startup) to every batch size — the honest
+    cold-start comparison."""
+    backend = resolve_backend(selector)
+    start = time.perf_counter()
+    proofs, stats = backend.prove_tasks(spec, task_list)
+    seconds = time.perf_counter() - start
+    wire = [serialize_proof(p, DEFAULT_FIELD) for p in proofs]
+    return {
+        "seconds": seconds,
+        "throughput": len(task_list) / seconds,
+        "workers": stats.workers,
+    }, wire
+
+
+def run_sweep(gates: int, workers: int, batches) -> dict:
+    """Batch-size sweep of serial vs pool:W vs pipelined:W.
+
+    Asserts byte parity of every backend against serial at every batch
+    size, and reports the smallest batch where the pipeline matches the
+    pool (``crossover_vs_pool``) and serial (``crossover_vs_serial``)."""
+    rows = []
+    crossover_pool = None
+    crossover_serial = None
+    for batch in batches:
+        spec, task_list = _setup(gates, batch)
+        serial_row, serial_wire = _measure("serial", spec, task_list)
+        pool_row, pool_wire = _measure(f"pool:{workers}", spec, task_list)
+        pipe_row, pipe_wire = _measure(
+            f"pipelined:{workers}", spec, task_list
+        )
+        assert pool_wire == serial_wire, "pool changed the proof bytes"
+        assert pipe_wire == serial_wire, "pipeline changed the proof bytes"
+        row = {
+            "batch": batch,
+            "serial": serial_row,
+            f"pool:{workers}": pool_row,
+            f"pipelined:{workers}": pipe_row,
+            "byte_identical": True,
+        }
+        rows.append(row)
+        if (
+            crossover_pool is None
+            and pipe_row["throughput"] >= pool_row["throughput"]
+        ):
+            crossover_pool = batch
+        if (
+            crossover_serial is None
+            and pipe_row["throughput"] >= serial_row["throughput"]
+        ):
+            crossover_serial = batch
+    return {
+        "gates": gates,
+        "workers": workers,
+        "host_cores": os.cpu_count() or 1,
+        "rows": rows,
+        "crossover_vs_pool": crossover_pool,
+        "crossover_vs_serial": crossover_serial,
+    }
+
+
+def _report(result: dict) -> None:
+    workers = result["workers"]
+    for row in result["rows"]:
+        cells = "  ".join(
+            f"{name} {row[name]['seconds'] * 1e3:8.1f} ms "
+            f"({row[name]['throughput']:6.2f}/s)"
+            for name in ("serial", f"pool:{workers}", f"pipelined:{workers}")
+        )
+        print(f"[pipeline]  batch {row['batch']:3d} | {cells}")
+    print(
+        f"[pipeline]  crossover vs pool:{workers} at batch "
+        f"{result['crossover_vs_pool']} | vs serial at batch "
+        f"{result['crossover_vs_serial']} "
+        f"(host cores: {result['host_cores']})"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--gates", type=int, default=None, help="circuit size override"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=WORKERS, help="total workers per side"
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.0,
+        help="fail (exit 1) when pipelined/pool throughput at the largest "
+        "batch drops below this",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_pipeline.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+
+    gates = args.gates or (QUICK_GATES if args.quick else GATES)
+    batches = QUICK_BATCHES if args.quick else BATCHES
+    result = run_sweep(gates, args.workers, batches)
+    _report(result)
+
+    result["min_ratio"] = args.min_ratio
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[pipeline]  wrote {args.out}")
+
+    last = result["rows"][-1]
+    ratio = (
+        last[f"pipelined:{args.workers}"]["throughput"]
+        / last[f"pool:{args.workers}"]["throughput"]
+    )
+    if ratio < args.min_ratio:
+        raise SystemExit(
+            f"perf regression: pipelined:{args.workers} is {ratio:.2f}x the "
+            f"pool:{args.workers} throughput at batch {last['batch']}, "
+            f"below the --min-ratio floor {args.min_ratio:.2f}x"
+        )

@@ -9,6 +9,7 @@ Usage::
     python -m repro breakdown             # §6.3 speedup decomposition
     python -m repro prove --workers 4     # real proofs on the parallel runtime
     python -m repro prove --backend sharded:pool:2,pool:2
+    python -m repro prove --backend pipelined:4   # stage-pipelined threads
     python -m repro serve --requests 60   # streaming service on a synthetic trace
 
 Resilience drills (S25)::
@@ -23,6 +24,7 @@ Resilience drills (S25)::
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 
 from .bench import (
@@ -99,9 +101,22 @@ def _run_prove(args) -> int:
     pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=8)
     prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
     spec = ProverSpec.from_prover(prover)
-    tasks = [
-        ProofTask(i, cc.witness, cc.public_values) for i in range(args.tasks)
-    ]
+    # One circuit, many *distinct* witnesses (the paper's batch shape).
+    # Sharing cc.witness across tasks would alias every task's
+    # content-addressed journal key: on --resume, a quarantined poison
+    # task would then be "found" in the journal under another task's
+    # identical key and silently skipped instead of re-attempted.
+    tasks = []
+    for i in range(args.tasks):
+        rng = random.Random(f"prove-cli/task/{i}")
+        variant = random_circuit(
+            DEFAULT_FIELD,
+            args.gates,
+            seed=1,
+            input_values=DEFAULT_FIELD.rand_vector(8, rng),
+        )
+        assert variant.r1cs.digest() == cc.r1cs.digest()
+        tasks.append(ProofTask(i, variant.witness, variant.public_values))
     trace = JsonlTraceSink(args.trace) if args.trace else None
     selector = args.backend
     if selector is None:
@@ -311,8 +326,8 @@ def main(argv=None) -> int:
         default=None,
         metavar="SELECTOR",
         help="execution backend for `prove` / `serve`, e.g. 'serial', "
-        "'pool:4', 'sharded:pool:2,pool:2' (default: derived from "
-        "--workers)",
+        "'pool:4', 'pipelined:4', 'sharded:pool:2,pool:2' (default: "
+        "derived from --workers)",
     )
     parser.add_argument(
         "--tasks",

@@ -104,6 +104,23 @@ class ProverState:
     params: PcsParams
 
 
+@dataclass
+class EncodedRows:
+    """The encode half of a commit: codeword rows awaiting the Merkle half.
+
+    Produced by :meth:`BrakedownPCS.encode_rows` and consumed by
+    :meth:`BrakedownPCS.commit_encoded` — the boundary the pipelined
+    executor schedules across, so proof *i+1* can be encoding while
+    proof *i* hashes.  ``codewords`` carries the fast path's uint64
+    matrix so the Merkle half packs leaves without a round-trip through
+    Python ints.
+    """
+
+    matrix: List[List[int]]  # R×C coefficient matrix
+    encoded: List[List[int]]  # R×(qC) codeword matrix U
+    codewords: Optional["np.ndarray"] = None  # fast-path uint64 view of U
+
+
 @dataclass(frozen=True)
 class ColumnOpening:
     """One opened codeword column.
@@ -213,7 +230,16 @@ class BrakedownPCS:
     # -- commit ---------------------------------------------------------------
 
     def commit(self, evals: Sequence[int]) -> Tuple[Commitment, ProverState]:
-        """Commit to a multilinear polynomial given its hypercube table."""
+        """Commit to a multilinear polynomial given its hypercube table.
+
+        Composition of :meth:`encode_rows` and :meth:`commit_encoded`
+        (the stage boundary the pipelined executor drives separately) —
+        byte-identical to the historical monolithic commit.
+        """
+        return self.commit_encoded(self.encode_rows(evals))
+
+    def encode_rows(self, evals: Sequence[int]) -> EncodedRows:
+        """The encode half of a commit: shape into rows and encode each."""
         params = self.params
         expected = 1 << params.num_vars
         if len(evals) != expected:
@@ -226,19 +252,27 @@ class BrakedownPCS:
             [v % p for v in evals[r * cols : (r + 1) * cols]]
             for r in range(params.num_rows)
         ]
-        if (
-            kernels_enabled()
-            and self.field.modulus == MERSENNE61
-            and params.num_rows >= 2
-        ):
-            # Batched fast path: one 2-D SpMV sweep per encoder stage, and
-            # leaf packing straight out of the transposed codeword matrix
-            # (bit-identical to per-row encode + per-column pack_vector).
+        if self._fast_path():
+            # Batched fast path: one 2-D SpMV sweep per encoder stage
+            # (bit-identical to per-row encode).
             with _stage("encode"):
                 cw = self.encoder._encode_batch61(
                     np.asarray(matrix, dtype=np.uint64)
                 )
-            encoded = cw.tolist()
+            return EncodedRows(matrix=matrix, encoded=cw.tolist(), codewords=cw)
+        with _stage("encode"):
+            encoded = [self.encoder.encode(row) for row in matrix]
+        return EncodedRows(matrix=matrix, encoded=encoded)
+
+    def commit_encoded(
+        self, rows: EncodedRows
+    ) -> Tuple[Commitment, ProverState]:
+        """The Merkle half of a commit: hash the codeword columns."""
+        params = self.params
+        if rows.codewords is not None:
+            # Leaf packing straight out of the transposed codeword matrix
+            # (bit-identical to per-column pack_vector).
+            cw = rows.codewords
             with _stage("merkle"):
                 raw = np.ascontiguousarray(cw.T).astype("<u8", copy=False).tobytes()
                 stride = 8 * params.num_rows
@@ -248,16 +282,21 @@ class BrakedownPCS:
                 ]
                 tree = MerkleTree(self.hasher.hash_many(blocks), self.hasher)
         else:
-            with _stage("encode"):
-                encoded = [self.encoder.encode(row) for row in matrix]
             with _stage("merkle"):
-                columns = list(zip(*encoded))
+                columns = list(zip(*rows.encoded))
                 tree = MerkleTree.from_field_vectors(
                     self.field, columns, self.hasher
                 )
         commitment = Commitment(root=tree.root, params=params)
         return commitment, ProverState(
-            matrix=matrix, encoded=encoded, tree=tree, params=params
+            matrix=rows.matrix, encoded=rows.encoded, tree=tree, params=params
+        )
+
+    def _fast_path(self) -> bool:
+        return (
+            kernels_enabled()
+            and self.field.modulus == MERSENNE61
+            and self.params.num_rows >= 2
         )
 
     # -- evaluation -----------------------------------------------------------------

@@ -35,7 +35,7 @@ from .gadgets import (
     to_bits,
 )
 from .proof import PublicBinding, SnarkProof
-from .prover import SnarkProver, make_pcs
+from .prover import PIPELINE_STAGES, SnarkProver, StagedProof, make_pcs
 from .r1cs import R1CS, next_power_of_two
 from .serialize import (
     deserialize_proof,
@@ -55,6 +55,8 @@ __all__ = [
     "next_power_of_two",
     "ConstraintSumcheckProver",
     "SnarkProver",
+    "StagedProof",
+    "PIPELINE_STAGES",
     "SnarkVerifier",
     "make_pcs",
     "SnarkProof",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CircuitError
 from ..field.prime_field import PrimeField
@@ -236,18 +236,33 @@ def random_circuit(
     num_gates: int,
     num_inputs: int = 8,
     seed: int = 0,
+    input_values: Optional[Sequence[int]] = None,
 ) -> CompiledCircuit:
     """A pseudorandom circuit with exactly ``num_gates`` multiplications.
 
     Used by benchmarks where the paper sweeps the scale S: each gate
     multiplies two random linear combinations of earlier wires, so the
     wiring is dense enough to be non-trivial but nnz stays O(S).
+
+    ``input_values`` overrides the seeded input assignment while leaving
+    the topology draws untouched (the seeded values are still consumed
+    from the RNG), so every ``input_values`` variant of the same
+    ``(seed, num_gates, num_inputs)`` compiles to a *digest-identical*
+    R1CS with a distinct witness — the paper's one-circuit/many-witness
+    batch shape (§1) without sharing a single witness across tasks.
     """
     if num_gates < 2:
         raise CircuitError("need at least two gates")
     rng = random.Random(f"random-circuit/{seed}/{num_gates}")
     cb = CircuitBuilder(field)
-    wires = cb.private_inputs(field.rand_vector(max(1, num_inputs), rng))
+    inputs = field.rand_vector(max(1, num_inputs), rng)
+    if input_values is not None:
+        if len(input_values) != len(inputs):
+            raise CircuitError(
+                f"{len(input_values)} input values for {len(inputs)} inputs"
+            )
+        inputs = [v % field.modulus for v in input_values]
+    wires = cb.private_inputs(inputs)
     for _ in range(num_gates - 1):
         a = rng.choice(wires)
         b = rng.choice(wires)

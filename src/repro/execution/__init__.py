@@ -25,6 +25,7 @@ from .backend import (
     SerialBackend,
     ShardedBackend,
 )
+from .pipelined import PipelinedBackend, StageGroup, plan_stage_workers
 from .registry import (
     available_backends,
     register_backend,
@@ -71,16 +72,19 @@ terminal.
 """
 
 __all__ = [
+    "PipelinedBackend",
     "PoolBackend",
     "ProvingBackend",
     "RequestLineage",
     "SerialBackend",
     "ShardedBackend",
     "SpanNode",
+    "StageGroup",
     "available_backends",
     "format_lineage",
     "largest_remainder_shares",
     "lineage_of",
+    "plan_stage_workers",
     "load_trace",
     "register_backend",
     "request_lineage",

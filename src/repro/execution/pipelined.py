@@ -1,0 +1,524 @@
+"""Stage-pipelined execution backend (S27).
+
+The paper's Figure 4 contrast: task-granular parallelism (one worker =
+one whole proof, Figure 4b) leaves every per-stage unit idle while the
+other stages of *its* proof run; the pipelined design (Figure 4a)
+streams each stage's kernel across many proofs so proof *i* is in
+sum-check while proof *i+1* is in Merkle and *i+2* is encoding.
+:class:`PipelinedBackend` is that discipline on the S24 backend seam,
+driving the :class:`~repro.core.StagedProof` checkpoints
+(``encode → merkle → sumcheck → open``) through per-stage worker queues.
+
+Sizing follows the paper's measured-cost methodology: a warmup slice of
+the first batch is proved inline under stage profiling, the measured
+fractions go through the same :func:`~repro.gpu.costs.stage_cost_fractions`
+calibration the GPU simulator uses (its residue arithmetic *is* the
+exclusive :meth:`~repro.kernels.profile.StageProfile.exclusive` view —
+``commit`` never double-counts its ``encode``/``merkle`` children), and
+:func:`plan_stage_workers` turns the fractions into a worker-per-stage
+plan: with fewer workers than stages, adjacent stages merge into
+contiguous groups balancing the bottleneck; with more, the heaviest
+stages get the extra workers.
+
+Every hand-off is on the correlated span schema — ``stage_enqueue`` /
+``stage_start`` / ``stage_done`` events under the task span — so one
+JSONL trace replays the pipeline's interleaving exactly.  Proofs are
+byte-identical to :class:`~repro.execution.SerialBackend` (the staged
+machine runs the same code split at checkpoints), and the backend
+carries the standard chaos hooks (``fault_injector``, ``max_retries``)
+so ``apply_fault_plan`` walks it and ``resilient:pipelined:4`` composes.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.batch import ProofTask
+from ..core.proof import SnarkProof
+from ..core.prover import PIPELINE_STAGES, StagedProof
+from ..errors import ExecutionError, ProofError
+from ..gpu.costs import stage_cost_fractions
+from ..kernels.profile import StageProfile, collect_into
+from ..kernels.spec_cache import default_spec_cache
+from ..runtime.spec import ProverSpec
+from ..runtime.stats import RuntimeStats, TaskRecord
+from ..runtime.trace import JsonlTraceSink
+from .backend import _PerSpecCache, _span_for
+
+__all__ = ["PipelinedBackend", "StageGroup", "plan_stage_workers"]
+
+#: Which :func:`stage_cost_fractions` key weighs each pipeline stage.
+#: ``open`` maps to ``other`` (commit residue + opening — the opening
+#: dominates that bucket in practice).
+_STAGE_WEIGHT_KEYS: Dict[str, str] = {
+    "encode": "encoder",
+    "merkle": "merkle",
+    "sumcheck": "sumcheck",
+    "open": "other",
+}
+
+
+@dataclass(frozen=True)
+class StageGroup:
+    """One pipeline station: contiguous stages served by one queue."""
+
+    stages: Tuple[str, ...]
+    workers: int
+
+
+def plan_stage_workers(
+    fractions: Mapping[str, float], workers: int
+) -> List[StageGroup]:
+    """Partition the pipeline stages across ``workers`` worker threads.
+
+    ``fractions`` is a :func:`~repro.gpu.costs.stage_cost_fractions`
+    mapping (``merkle`` / ``sumcheck`` / ``encoder`` / ``other``) —
+    exclusive shares of proving time.  With ``workers < 4`` the stages
+    are merged into that many *contiguous* groups minimizing the
+    heaviest group (the pipeline's bottleneck station); with
+    ``workers >= 4`` every stage gets its own queue and the surplus
+    workers go to the heaviest stages by largest remainder.
+
+    >>> plan_stage_workers({}, 2)  # no measurements → balanced halves
+    [StageGroup(stages=('encode', 'merkle'), workers=1), \
+StageGroup(stages=('sumcheck', 'open'), workers=1)]
+    """
+    from .sharding import largest_remainder_shares
+
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    stages = list(PIPELINE_STAGES)
+    weights = [
+        max(1e-9, float(fractions.get(_STAGE_WEIGHT_KEYS[s], 0.0)))
+        for s in stages
+    ]
+    if workers >= len(stages):
+        extra = workers - len(stages)
+        bonus = (
+            largest_remainder_shares(extra, weights)
+            if extra > 0
+            else [0] * len(stages)
+        )
+        return [
+            StageGroup(stages=(s,), workers=1 + b)
+            for s, b in zip(stages, bonus)
+        ]
+    # Fewer workers than stages: choose the contiguous partition into
+    # `workers` groups whose heaviest group is lightest.  Only C(3, k-1)
+    # split-point sets exist for 4 stages — enumerate them.
+    from itertools import combinations
+
+    best: Optional[List[StageGroup]] = None
+    best_cost = float("inf")
+    for cuts in combinations(range(1, len(stages)), workers - 1):
+        bounds = [0, *cuts, len(stages)]
+        cost = max(
+            sum(weights[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best = [
+                StageGroup(stages=tuple(stages[lo:hi]), workers=1)
+                for lo, hi in zip(bounds, bounds[1:])
+            ]
+    assert best is not None
+    return best
+
+
+class _Unit:
+    """One task travelling the pipeline: its staged proof plus bookkeeping."""
+
+    __slots__ = (
+        "index", "task", "staged", "attempt", "profile",
+        "submitted", "prove_seconds",
+    )
+
+    def __init__(self, index: int, task: ProofTask, staged: StagedProof):
+        self.index = index
+        self.task = task
+        self.staged = staged
+        self.attempt = 1
+        self.profile = StageProfile()
+        self.submitted = time.perf_counter()
+        self.prove_seconds = 0.0
+
+
+_SENTINEL = object()
+
+
+class PipelinedBackend:
+    """Stage-pipelined in-process execution on the backend seam.
+
+    ``workers`` is the total thread count (``"auto"`` sizes from the
+    host CPU count, clamped to the stage count); the first
+    ``warmup_tasks`` proofs of a spec's first batch are proved inline
+    under profiling to measure the stage split, after which the plan is
+    cached per spec and batches stream straight into the queues.
+
+    Retry semantics mirror :class:`~repro.execution.SerialBackend`: a
+    failed attempt restarts the whole staged proof from ``encode``
+    (never mid-pipeline — a half-run transcript is unusable), and an
+    exhausted task raises :class:`~repro.errors.ProofError` so the
+    resilience layer can attribute and quarantine.
+    """
+
+    def __init__(
+        self,
+        workers: "int | str | None" = "auto",
+        *,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.05,
+        fault_injector=None,
+        warmup_tasks: int = 2,
+    ) -> None:
+        auto = workers in (None, "auto")
+        if auto:
+            resolved = max(2, min(len(PIPELINE_STAGES), os.cpu_count() or 1))
+        else:
+            resolved = int(workers)  # type: ignore[arg-type]
+            if resolved < 1:
+                raise ExecutionError(
+                    f"workers must be >= 1, got {resolved}"
+                )
+        if max_retries < 0:
+            raise ExecutionError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if warmup_tasks < 1:
+            raise ExecutionError(
+                f"warmup_tasks must be >= 1, got {warmup_tasks}"
+            )
+        self.workers = resolved
+        self.parallelism = resolved
+        self.name = "pipelined:auto" if auto else f"pipelined:{resolved}"
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.fault_injector = fault_injector
+        self.warmup_tasks = warmup_tasks
+        self._provers = _PerSpecCache()
+        self._plans = _PerSpecCache()
+
+    def adopt_prover(self, spec: ProverSpec, prover) -> None:
+        """Seed the prover cache (same contract as ``SerialBackend``)."""
+        self._provers._entries[id(spec)] = (spec, prover)
+
+    # -- proving --------------------------------------------------------------
+
+    def prove_tasks(
+        self,
+        spec: ProverSpec,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        tasks = list(tasks)
+        ctx = _span_for(trace, parent)
+        prover = self._provers.get_or_build(
+            spec, lambda s: default_spec_cache().get_prover(s)
+        )
+        stats = RuntimeStats(workers=self.workers)
+        start = time.perf_counter()
+        ctx.emit(
+            "run_start", backend=self.name, tasks=len(tasks),
+            workers=self.workers,
+        )
+        proofs: List[Optional[SnarkProof]] = [None] * len(tasks)
+        corrupt = getattr(self.fault_injector, "maybe_corrupt", None)
+
+        # Calibration: prove a warmup slice inline (still staged, still
+        # emitting stage events) and size the stage groups from its
+        # measured fractions.  Cached per spec — later batches skip it.
+        warmed = 0
+        entry = self._plans._entries.get(id(spec))
+        plan: Optional[List[StageGroup]] = (
+            entry[1] if entry is not None and entry[0] is spec else None
+        )
+        if plan is None and tasks:
+            warm_profile = StageProfile()
+            n_warm = min(self.warmup_tasks, len(tasks))
+            for index in range(n_warm):
+                proof = self._prove_inline(
+                    prover, tasks[index], ctx, stats, corrupt, warm_profile
+                )
+                proofs[index] = proof
+            warmed = n_warm
+            # stage_cost_fractions consumes the raw inclusive profile;
+            # its commit-residue arithmetic is exactly the exclusive
+            # view, so no stage is double-weighted.
+            fractions = stage_cost_fractions(warm_profile.as_dict())
+            plan = plan_stage_workers(fractions, self.workers)
+            self._plans._entries[id(spec)] = (spec, plan)
+            ctx.emit(
+                "pipeline_plan",
+                fractions=fractions,
+                groups=[
+                    {"stages": list(g.stages), "workers": g.workers}
+                    for g in plan
+                ],
+            )
+
+        pending = len(tasks) - warmed
+        if pending > 0:
+            assert plan is not None
+            error = self._run_pipeline(
+                plan, prover, tasks, warmed, proofs, stats, ctx, corrupt
+            )
+            if error is not None:
+                raise error
+
+        stats.total_seconds = time.perf_counter() - start
+        ctx.emit(
+            "run_end", proofs=len(tasks), retries=stats.retries,
+            seconds=stats.total_seconds,
+        )
+        if ctx.sink is not None:
+            ctx.sink.flush()
+        return proofs, stats  # type: ignore[return-value]
+
+    # -- warmup (inline, serial) ----------------------------------------------
+
+    def _prove_inline(
+        self, prover, task: ProofTask, ctx, stats: RuntimeStats,
+        corrupt, warm_profile: StageProfile,
+    ) -> SnarkProof:
+        injector = self.fault_injector
+        task_ctx = ctx.child("task", span=f"{ctx.span}/t{task.task_id}")
+        submitted = time.perf_counter()
+        attempt = 1
+        while True:
+            profile = StageProfile()
+            try:
+                if injector is not None:
+                    injector(task.task_id, attempt)
+                staged = prover.begin_proof(task.witness, task.public_values)
+                prove_seconds = 0.0
+                while (name := staged.next_stage) is not None:
+                    task_ctx.emit(
+                        "stage_start", task_id=task.task_id, stage=name,
+                        attempt=attempt,
+                    )
+                    t0 = time.perf_counter()
+                    with collect_into(profile):
+                        staged.run_next()
+                    dt = time.perf_counter() - t0
+                    prove_seconds += dt
+                    task_ctx.emit(
+                        "stage_done", task_id=task.task_id, stage=name,
+                        seconds=dt, attempt=attempt,
+                    )
+                proof = staged.proof
+                break
+            except Exception as exc:
+                if attempt > self.max_retries:
+                    raise ProofError(
+                        f"task {task.task_id} failed after {attempt} "
+                        f"attempts: {exc}"
+                    ) from exc
+                stats.retries += 1
+                task_ctx.emit(
+                    "retry", task_id=task.task_id, attempt=attempt,
+                    reason=repr(exc),
+                )
+                time.sleep(self.retry_backoff_seconds * (2 ** (attempt - 1)))
+                attempt += 1
+        if corrupt is not None:
+            proof = corrupt(proof, task.task_id)
+        stats.busy_seconds += prove_seconds
+        stages = profile.as_dict()
+        warm_profile.merge(stages)
+        stats.records.append(
+            TaskRecord(
+                task_id=task.task_id,
+                attempts=attempt,
+                prove_seconds=prove_seconds,
+                latency_seconds=time.perf_counter() - submitted,
+                worker=None,
+                stage_seconds=stages or None,
+            )
+        )
+        task_ctx.emit(
+            "complete", task_id=task.task_id, attempt=attempt,
+            seconds=prove_seconds,
+        )
+        if stages:
+            task_ctx.emit(
+                "stage_timing", task_id=task.task_id,
+                seconds=prove_seconds, stages=stages,
+            )
+        return proof
+
+    # -- the pipeline proper ---------------------------------------------------
+
+    def _run_pipeline(
+        self,
+        plan: List[StageGroup],
+        prover,
+        tasks: List[ProofTask],
+        warmed: int,
+        proofs: List[Optional[SnarkProof]],
+        stats: RuntimeStats,
+        ctx,
+        corrupt,
+    ) -> Optional[ProofError]:
+        injector = self.fault_injector
+        queues: List["queue.Queue"] = [queue.Queue() for _ in plan]
+        lock = threading.Lock()
+        done = threading.Event()
+        failures: List[ProofError] = []
+        pending = [len(tasks) - warmed]
+
+        def task_ctx_for(task_id: int):
+            return ctx.child("task", span=f"{ctx.span}/t{task_id}")
+
+        def finalize(unit: _Unit) -> None:
+            proof = unit.staged.proof
+            if corrupt is not None:
+                proof = corrupt(proof, unit.task.task_id)
+            stages = unit.profile.as_dict()
+            with lock:
+                stats.busy_seconds += unit.prove_seconds
+                stats.records.append(
+                    TaskRecord(
+                        task_id=unit.task.task_id,
+                        attempts=unit.attempt,
+                        prove_seconds=unit.prove_seconds,
+                        latency_seconds=time.perf_counter() - unit.submitted,
+                        worker=None,
+                        stage_seconds=stages or None,
+                    )
+                )
+                proofs[unit.index] = proof
+                pending[0] -= 1
+                finished = pending[0] == 0
+            tctx = task_ctx_for(unit.task.task_id)
+            tctx.emit(
+                "complete", task_id=unit.task.task_id, attempt=unit.attempt,
+                seconds=unit.prove_seconds,
+            )
+            if stages:
+                tctx.emit(
+                    "stage_timing", task_id=unit.task.task_id,
+                    seconds=unit.prove_seconds, stages=stages,
+                )
+            if finished:
+                done.set()
+
+        def fail_or_retry(unit: _Unit, exc: Exception) -> None:
+            tctx = task_ctx_for(unit.task.task_id)
+            if unit.attempt > self.max_retries:
+                with lock:
+                    failures.append(
+                        ProofError(
+                            f"task {unit.task.task_id} failed after "
+                            f"{unit.attempt} attempts: {exc}"
+                        )
+                    )
+                done.set()
+                return
+            with lock:
+                stats.retries += 1
+            tctx.emit(
+                "retry", task_id=unit.task.task_id, attempt=unit.attempt,
+                reason=repr(exc),
+            )
+            time.sleep(
+                self.retry_backoff_seconds * (2 ** (unit.attempt - 1))
+            )
+            # A retry restarts the whole proof: fresh staged machine,
+            # fresh profile, back to the head of the pipeline.
+            unit.attempt += 1
+            unit.staged = prover.begin_proof(
+                unit.task.witness, unit.task.public_values
+            )
+            unit.profile = StageProfile()
+            unit.prove_seconds = 0.0
+            tctx.emit(
+                "stage_enqueue", task_id=unit.task.task_id,
+                stage=PIPELINE_STAGES[0], attempt=unit.attempt,
+            )
+            queues[0].put(unit)
+
+        def worker(group_index: int) -> None:
+            group = plan[group_index]
+            q = queues[group_index]
+            while True:
+                unit = q.get()
+                if unit is _SENTINEL:
+                    break
+                if failures or (done.is_set() and pending[0] <= 0):
+                    continue  # draining after abort/completion
+                tctx = task_ctx_for(unit.task.task_id)
+                try:
+                    for name in group.stages:
+                        if unit.staged.next_stage != name:
+                            # Retried units restart at encode; skip the
+                            # stages this group doesn't own this pass.
+                            continue
+                        if name == PIPELINE_STAGES[0] and injector is not None:
+                            injector(unit.task.task_id, unit.attempt)
+                        tctx.emit(
+                            "stage_start", task_id=unit.task.task_id,
+                            stage=name, attempt=unit.attempt,
+                        )
+                        t0 = time.perf_counter()
+                        with collect_into(unit.profile):
+                            unit.staged.run_next()
+                        dt = time.perf_counter() - t0
+                        unit.prove_seconds += dt
+                        tctx.emit(
+                            "stage_done", task_id=unit.task.task_id,
+                            stage=name, seconds=dt, attempt=unit.attempt,
+                        )
+                except Exception as exc:
+                    fail_or_retry(unit, exc)
+                    continue
+                if unit.staged.done:
+                    finalize(unit)
+                else:
+                    next_stage = unit.staged.next_stage
+                    target = next(
+                        gi for gi, g in enumerate(plan)
+                        if next_stage in g.stages
+                    )
+                    tctx.emit(
+                        "stage_enqueue", task_id=unit.task.task_id,
+                        stage=next_stage, attempt=unit.attempt,
+                    )
+                    queues[target].put(unit)
+
+        threads: List[threading.Thread] = []
+        for gi, group in enumerate(plan):
+            for _ in range(group.workers):
+                t = threading.Thread(
+                    target=worker, args=(gi,), daemon=True,
+                    name=f"pipelined-{'+'.join(group.stages)}",
+                )
+                t.start()
+                threads.append(t)
+
+        for index in range(warmed, len(tasks)):
+            task = tasks[index]
+            unit = _Unit(index, task, prover.begin_proof(
+                task.witness, task.public_values
+            ))
+            task_ctx_for(task.task_id).emit(
+                "stage_enqueue", task_id=task.task_id,
+                stage=PIPELINE_STAGES[0], attempt=1,
+            )
+            with lock:
+                stats.queue_depth_samples.append(queues[0].qsize())
+            queues[0].put(unit)
+
+        done.wait()
+        for gi, group in enumerate(plan):
+            for _ in range(group.workers):
+                queues[gi].put(_SENTINEL)
+        for t in threads:
+            t.join()
+        return failures[0] if failures else None

@@ -7,6 +7,8 @@ code::
     serial                      in-process, one cached prover
     pool                        process pool sized to the host
     pool:8                      process pool, 8 workers
+    pipelined:4                 stage-pipelined threads, 4 workers
+    pipelined:auto              stage-pipelined, sized from the host
     sharded:pool:4,pool:4       two concurrent 4-worker pools
     sharded:pool:4,serial       heterogeneous children (weights default
                                 to each child's parallelism)
@@ -121,6 +123,23 @@ def _make_sharded(rest: str) -> ShardedBackend:
     return ShardedBackend([resolve_backend(part) for part in parts])
 
 
+def _make_pipelined(rest: str) -> ProvingBackend:
+    # Imported lazily: the pipelined module pulls in gpu.costs for its
+    # sizer, which this registry's importers don't otherwise need.
+    from .pipelined import PipelinedBackend
+
+    if not rest or rest == "auto":
+        return PipelinedBackend("auto")
+    try:
+        workers = int(rest)
+    except ValueError:
+        raise ExecutionError(
+            f"'pipelined' wants an integer worker count or 'auto', "
+            f"got {rest!r}"
+        ) from None
+    return PipelinedBackend(workers)
+
+
 def _make_resilient(rest: str) -> ProvingBackend:
     # Imported lazily: repro.resilience imports this package for the
     # backend protocol, so a module-level import would be a cycle.
@@ -136,5 +155,6 @@ def _make_resilient(rest: str) -> ProvingBackend:
 
 register_backend("serial", _make_serial)
 register_backend("pool", _make_pool)
+register_backend("pipelined", _make_pipelined)
 register_backend("sharded", _make_sharded)
 register_backend("resilient", _make_resilient)

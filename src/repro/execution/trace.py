@@ -183,7 +183,10 @@ def lineage_of(path: str, request_id: int) -> RequestLineage:
 
 
 def stage_breakdown(
-    events: Iterable[dict], task_id: Optional[int] = None
+    events: Iterable[dict],
+    task_id: Optional[int] = None,
+    *,
+    exclusive: bool = True,
 ) -> Dict[str, float]:
     """Per-stage proving seconds replayed from ``stage_timing`` events.
 
@@ -191,9 +194,11 @@ def stage_breakdown(
     from one JSONL trace file: each ``stage_timing`` event carries a
     ``stages`` mapping (commit ⊃ encode + merkle, sumcheck1, sumcheck2,
     open); this sums them across the trace, or for a single proof when
-    ``task_id`` is given.  Raises :class:`~repro.errors.ExecutionError`
-    when a requested task has no stage events (e.g. a pre-profiling
-    trace).
+    ``task_id`` is given.  By default the result is the *exclusive* view
+    (``commit`` replaced by its residue, values disjoint and summable);
+    ``exclusive=False`` returns the raw nested totals.  Raises
+    :class:`~repro.errors.ExecutionError` when a requested task has no
+    stage events (e.g. a pre-profiling trace).
     """
     from ..kernels.profile import StageProfile
 
@@ -210,11 +215,11 @@ def stage_breakdown(
         raise ExecutionError(
             f"task {task_id} has no stage_timing events in the trace"
         )
-    return totals.as_dict()
+    return totals.exclusive() if exclusive else totals.inclusive()
 
 
 def stage_breakdown_of(
-    path: str, task_id: Optional[int] = None
+    path: str, task_id: Optional[int] = None, *, exclusive: bool = True
 ) -> Dict[str, float]:
     """Convenience: :func:`load_trace` + :func:`stage_breakdown`."""
-    return stage_breakdown(load_trace(path), task_id)
+    return stage_breakdown(load_trace(path), task_id, exclusive=exclusive)

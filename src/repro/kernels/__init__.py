@@ -42,8 +42,23 @@ from .hash_kernels import (
     sha256_compress_many,
     sha256_many,
 )
-from .profile import STAGE_NAMES, StageProfile, collect_stages, stage
-from .spec_cache import SpecCache, cached_encoder, default_spec_cache, spec_cache_key
+from .profile import (
+    STAGE_CHILDREN,
+    STAGE_NAMES,
+    StageProfile,
+    collect_into,
+    collect_stages,
+    exclusive_stage_seconds,
+    stage,
+)
+from .spec_cache import (
+    EncoderCache,
+    SpecCache,
+    cached_encoder,
+    default_encoder_cache,
+    default_spec_cache,
+    spec_cache_key,
+)
 
 __all__ = [
     # dispatch
@@ -74,11 +89,16 @@ __all__ = [
     "default_spec_cache",
     "spec_cache_key",
     "cached_encoder",
+    "EncoderCache",
+    "default_encoder_cache",
     # profiling
     "StageProfile",
     "collect_stages",
     "stage",
     "STAGE_NAMES",
+    "STAGE_CHILDREN",
+    "collect_into",
+    "exclusive_stage_seconds",
 ]
 
 __apidoc__ = """\

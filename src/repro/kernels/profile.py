@@ -21,6 +21,13 @@ Stages may nest: ``encode`` and ``merkle`` run inside ``commit``, and
 every stage accumulates its own wall time independently — so ``commit``
 includes its children, and ``commit − encode − merkle`` is the
 commit-phase residue (transposes, padding, transcript absorption).
+
+Because of that containment the raw dict is *not* safe to sum: adding
+``commit`` to ``encode`` and ``merkle`` counts the commit phase twice.
+:meth:`StageProfile.exclusive` is the summable view — ``commit`` is
+replaced by its residue, so the values partition wall time and their
+total never exceeds it; :meth:`StageProfile.inclusive` is the raw
+as-measured view for consumers that understand the nesting.
 """
 
 from __future__ import annotations
@@ -29,9 +36,17 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
-__all__ = ["StageProfile", "collect_stages", "stage", "STAGE_NAMES"]
+__all__ = [
+    "StageProfile",
+    "collect_stages",
+    "collect_into",
+    "exclusive_stage_seconds",
+    "stage",
+    "STAGE_NAMES",
+    "STAGE_CHILDREN",
+]
 
 #: Canonical stage names emitted by the instrumented proving pipeline, in
 #: pipeline order.  ``commit`` contains ``encode`` and ``merkle``.
@@ -43,6 +58,34 @@ STAGE_NAMES: Tuple[str, ...] = (
     "sumcheck2",
     "open",
 )
+
+#: Containment between stages: a container's measured time includes its
+#: children's.  The exclusive view subtracts children from containers so
+#: the result partitions wall time.
+STAGE_CHILDREN: Dict[str, Tuple[str, ...]] = {
+    "commit": ("encode", "merkle"),
+}
+
+
+def exclusive_stage_seconds(
+    stage_seconds: Mapping[str, float],
+) -> Dict[str, float]:
+    """The summable view of a (possibly nested) stage-seconds mapping.
+
+    Each container stage (per :data:`STAGE_CHILDREN`) is replaced by its
+    residue — its time minus its recorded children's, clamped at zero —
+    so the returned values are disjoint and sum to at most the proof's
+    wall time.  Stages absent from the input stay absent.
+    """
+    out: Dict[str, float] = {}
+    ordered = [n for n in STAGE_NAMES if n in stage_seconds]
+    ordered += [n for n in stage_seconds if n not in STAGE_NAMES]
+    for name in ordered:
+        value = stage_seconds[name]
+        for child in STAGE_CHILDREN.get(name, ()):
+            value -= stage_seconds.get(child, 0.0)
+        out[name] = max(0.0, value)
+    return out
 
 
 @dataclass
@@ -56,12 +99,30 @@ class StageProfile:
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
 
     def as_dict(self) -> Dict[str, float]:
-        """A plain dict copy in canonical-then-insertion order."""
+        """A plain dict copy in canonical-then-insertion order.
+
+        This is the *inclusive* (as-measured) view — ``commit`` contains
+        ``encode``/``merkle`` — and is not safe to sum across keys; use
+        :meth:`exclusive` for a partition of wall time.
+        """
         ordered = {n: self.seconds[n] for n in STAGE_NAMES if n in self.seconds}
         for name, value in self.seconds.items():
             if name not in ordered:
                 ordered[name] = value
         return ordered
+
+    #: Explicit name for the raw nested view, so call sites that really
+    #: want containment say so.
+    inclusive = as_dict
+
+    def exclusive(self) -> Dict[str, float]:
+        """The summable view: containers replaced by their residue.
+
+        ``commit`` becomes ``commit − encode − merkle`` (clamped at
+        zero), so the returned values are disjoint shares of the proof's
+        wall time and their sum never exceeds it.
+        """
+        return exclusive_stage_seconds(self.as_dict())
 
     def merge(self, other: Dict[str, float]) -> None:
         """Accumulate another profile's stage seconds into this one."""
@@ -78,6 +139,24 @@ _ACTIVE: ContextVar[Optional[StageProfile]] = ContextVar(
 def collect_stages() -> Iterator[StageProfile]:
     """Collect stage timings from everything proved inside the block."""
     profile = StageProfile()
+    token = _ACTIVE.set(profile)
+    try:
+        yield profile
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def collect_into(profile: StageProfile) -> Iterator[StageProfile]:
+    """Collect stage timings into an *existing* profile.
+
+    The pipelined executor runs one proof's stages on different worker
+    threads; each thread has its own ContextVar state, so the per-task
+    profile must travel with the task.  Wrapping each stage execution in
+    ``collect_into(task_profile)`` accumulates every thread's timings
+    into the one shared profile (stage hand-offs serialize the writes,
+    so no lock is needed).
+    """
     token = _ACTIVE.set(profile)
     try:
         yield profile

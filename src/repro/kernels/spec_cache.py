@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; kernels must stay an
     # import leaf so the modules it accelerates can import it cycle-free.
@@ -35,7 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; kernels must stay an
     from ..field.prime_field import PrimeField
     from ..runtime.spec import ProverSpec
 
-__all__ = ["SpecCache", "default_spec_cache", "cached_encoder", "spec_cache_key"]
+__all__ = [
+    "EncoderCache",
+    "SpecCache",
+    "cached_encoder",
+    "default_encoder_cache",
+    "default_spec_cache",
+    "spec_cache_key",
+]
 
 
 def spec_cache_key(spec: "ProverSpec") -> Tuple:
@@ -122,9 +129,82 @@ def default_spec_cache() -> SpecCache:
 
 # -- encoder graph memo ------------------------------------------------------
 
-_ENCODERS: Dict[Tuple, "SpielmanEncoder"] = {}
-_ENCODER_LOCK = threading.Lock()
-_ENCODER_MAX = 32
+
+class EncoderCache:
+    """An LRU memo of :class:`SpielmanEncoder` graphs with hit/miss stats.
+
+    The earlier module-level memo was a plain dict with first-in
+    eviction: long-lived services proving a rotating set of circuit
+    shapes evicted their *hottest* graphs (insertion order never
+    updated on hit) and exposed no occupancy or hit-rate signal.  This
+    mirrors :class:`SpecCache`: recency-ordered, thread-safe, builds
+    outside the lock, counts hits/misses/evictions.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        self._maxsize = max(1, maxsize)
+        self._encoders: "OrderedDict[Tuple, SpielmanEncoder]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Number of lookups served from the cache.
+        self.hits = 0
+        #: Number of lookups that had to build an encoder.
+        self.misses = 0
+        #: Number of entries dropped to honor the LRU bound.
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._encoders)
+
+    def get(
+        self,
+        field: "PrimeField",
+        message_length: int,
+        params: "Optional[EncoderParams]",
+        seed: int,
+    ) -> "SpielmanEncoder":
+        """The memoized encoder for the key (built on first use).
+
+        Graphs are a pure function of ``(modulus, message length,
+        params, seed)`` — the ``field`` *instance* is deliberately not
+        part of the key, so equivalent field objects share one encoder.
+        """
+        from ..encoder.spielman import EncoderParams, SpielmanEncoder
+
+        key = (field.modulus, message_length, params or EncoderParams(), seed)
+        with self._lock:
+            encoder = self._encoders.get(key)
+            if encoder is not None:
+                self.hits += 1
+                self._encoders.move_to_end(key)
+                return encoder
+        # Build outside the lock — graph sampling is the expensive part
+        # and two racing builders produce equivalent encoders.
+        built = SpielmanEncoder(field, message_length, params=params, seed=seed)
+        with self._lock:
+            encoder = self._encoders.get(key)
+            if encoder is not None:
+                self.hits += 1
+                self._encoders.move_to_end(key)
+                return encoder
+            self.misses += 1
+            self._encoders[key] = built
+            while len(self._encoders) > self._maxsize:
+                self._encoders.popitem(last=False)
+                self.evictions += 1
+        return built
+
+    def clear(self) -> None:
+        """Drop every cached encoder (hit/miss counters are kept)."""
+        with self._lock:
+            self._encoders.clear()
+
+
+_DEFAULT_ENCODERS = EncoderCache()
+
+
+def default_encoder_cache() -> EncoderCache:
+    """The process-wide encoder memo shared by every PCS instance."""
+    return _DEFAULT_ENCODERS
 
 
 def cached_encoder(
@@ -133,22 +213,5 @@ def cached_encoder(
     params: "Optional[EncoderParams]",
     seed: int,
 ) -> "SpielmanEncoder":
-    """Memoized :class:`SpielmanEncoder` construction.
-
-    Graphs are a pure function of ``(modulus, message length, params,
-    seed)`` — the ``field`` *instance* is deliberately not part of the
-    key, so equivalent field objects share one encoder.
-    """
-    from ..encoder.spielman import EncoderParams, SpielmanEncoder
-
-    key = (field.modulus, message_length, params or EncoderParams(), seed)
-    with _ENCODER_LOCK:
-        encoder = _ENCODERS.get(key)
-        if encoder is not None:
-            return encoder
-    built = SpielmanEncoder(field, message_length, params=params, seed=seed)
-    with _ENCODER_LOCK:
-        encoder = _ENCODERS.setdefault(key, built)
-        while len(_ENCODERS) > _ENCODER_MAX:
-            _ENCODERS.pop(next(iter(_ENCODERS)))
-    return encoder
+    """Memoized :class:`SpielmanEncoder` construction (the default cache)."""
+    return _DEFAULT_ENCODERS.get(field, message_length, params, seed)

@@ -40,8 +40,9 @@ from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.batch import ProofTask
+from ..core.proof import SnarkProof
 from ..core.serialize import deserialize_proof, serialize_proof
-from ..errors import JournalError, QuarantinedTaskError
+from ..errors import JournalError
 from ..runtime.spec import ProverSpec
 from ..runtime.stats import RuntimeStats, merge_runtime_stats
 from ..runtime.trace import JsonlTraceSink, SpanContext, ambient_span
@@ -311,7 +312,12 @@ def journaled_prove(
             part_stats.append(stats)
             for index, proof in zip(chunk, proofs):
                 results[index] = proof
-                if isinstance(proof, QuarantinedTaskError):
+                # Only a real proof is durable progress.  A quarantined
+                # slot (or any other non-proof placeholder a backend
+                # might return) must NOT be journaled: a later --resume
+                # would deserialize it as a completed task and silently
+                # skip the re-attempt the quarantine exists to force.
+                if not isinstance(proof, SnarkProof):
                     report.quarantined += 1
                     continue
                 journal.append(

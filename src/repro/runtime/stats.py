@@ -115,13 +115,18 @@ class RuntimeStats:
     def total_attempts(self) -> int:
         return sum(r.attempts for r in self.records)
 
-    def stage_totals(self) -> Dict[str, float]:
+    def stage_totals(self, *, exclusive: bool = True) -> Dict[str, float]:
         """Summed per-stage proving seconds across every task record.
 
         Stage order follows :data:`repro.kernels.profile.STAGE_NAMES`
-        (pipeline order, ``commit`` containing ``encode``/``merkle``)
         with unknown stages appended; empty when no record carried a
-        stage profile.
+        stage profile.  By default this is the *exclusive* view —
+        ``commit`` is its residue after subtracting its children
+        ``encode``/``merkle``, so the values partition proving time and
+        are safe to sum (an earlier version returned the raw nested dict
+        here, which made every summing consumer double-count the commit
+        phase).  Pass ``exclusive=False`` for the raw inclusive
+        (as-measured) dict in which ``commit ⊇ encode + merkle``.
         """
         from ..kernels.profile import StageProfile
 
@@ -129,7 +134,7 @@ class RuntimeStats:
         for record in self.records:
             if record.stage_seconds:
                 totals.merge(record.stage_seconds)
-        return totals.as_dict()
+        return totals.exclusive() if exclusive else totals.inclusive()
 
     # -- presentation ---------------------------------------------------------
 
@@ -149,7 +154,10 @@ class RuntimeStats:
             f"queue depth     : max {self.max_queue_depth}, "
             f"mean {self.mean_queue_depth:.1f}",
         ]
-        stages = self.stage_totals()
+        # Exclusive view: disjoint shares, so the displayed split sums to
+        # at most proving wall time (commit is its residue, not the
+        # container that also holds encode + merkle).
+        stages = self.stage_totals(exclusive=True)
         if stages:
             split = "  ".join(
                 f"{name} {seconds * 1e3:.1f}ms" for name, seconds in stages.items()

@@ -33,9 +33,11 @@ from repro.field.primes import MERSENNE61
 from repro.hashing.hashers import get_hasher
 from repro.hashing.sha256 import compress_block, sha256
 from repro.kernels import (
+    EncoderCache,
     SpecCache,
     collect_stages,
     default_spec_cache,
+    exclusive_stage_seconds,
     field_kernels,
     kernels_enabled,
     sha256_compress_many,
@@ -426,6 +428,57 @@ class TestSpecCache:
         assert default_spec_cache() is default_spec_cache()
 
 
+class TestEncoderCache:
+    def test_hit_returns_same_graph_and_counts(self):
+        cache = EncoderCache(maxsize=4)
+        e1 = cache.get(F, 16, None, 7)
+        e2 = cache.get(F, 16, None, 7)
+        assert e1 is e2
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+
+    def test_lru_bound_and_eviction_stats(self):
+        cache = EncoderCache(maxsize=2)
+        for seed in (1, 2, 3):
+            cache.get(F, 16, None, seed)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # Seed 1 was the least recently used entry — rebuilt on return.
+        assert cache.get(F, 16, None, 1) is not None
+        assert cache.misses == 4
+
+    def test_recency_ordering_protects_hot_entries(self):
+        # The pre-LRU memo evicted in insertion order, so the hottest
+        # graph was dropped first; a hit must now refresh recency.
+        cache = EncoderCache(maxsize=2)
+        hot = cache.get(F, 16, None, 1)
+        cache.get(F, 16, None, 2)
+        assert cache.get(F, 16, None, 1) is hot  # refresh recency
+        cache.get(F, 16, None, 3)  # evicts seed 2, not the hot seed 1
+        assert cache.get(F, 16, None, 1) is hot
+        assert cache.hits == 2
+
+    def test_eviction_actually_frees_entries(self):
+        import gc
+        import weakref
+
+        cache = EncoderCache(maxsize=1)
+        ref = weakref.ref(cache.get(F, 16, None, 100))
+        assert ref() is not None
+        cache.get(F, 16, None, 101)  # evicts seed 100
+        gc.collect()
+        assert ref() is None, "evicted encoder still referenced"
+
+    def test_default_encoder_cache_backs_cached_encoder(self):
+        from repro.kernels import cached_encoder, default_encoder_cache
+
+        cache = default_encoder_cache()
+        before = cache.hits + cache.misses
+        e1 = cached_encoder(F, 16, None, 12345)
+        e2 = cached_encoder(F, 16, None, 12345)
+        assert e1 is e2
+        assert cache.hits + cache.misses >= before + 2
+
+
 # -- stage profiling ----------------------------------------------------------
 
 
@@ -476,10 +529,18 @@ class TestStageTrace:
         events = load_trace(text.splitlines())
         per_task = stage_breakdown(events, task_id=1)
         assert {"commit", "sumcheck1", "sumcheck2", "open"} <= set(per_task)
+        # Records keep the raw inclusive profile; the replay's default is
+        # the exclusive (summable) view of the same numbers.
         record = next(r for r in stats.records if r.task_id == 1)
-        assert record.stage_seconds == per_task
+        assert record.stage_seconds == stage_breakdown(
+            events, task_id=1, exclusive=False
+        )
+        assert per_task == exclusive_stage_seconds(record.stage_seconds)
         totals = stage_breakdown(events)
         assert totals == stats.stage_totals()
+        assert stage_breakdown(events, exclusive=False) == stats.stage_totals(
+            exclusive=False
+        )
         assert totals["commit"] >= per_task["commit"]
 
     def test_pool_breakdown(self):
@@ -487,6 +548,35 @@ class TestStageTrace:
         events = load_trace(text.splitlines())
         assert stage_breakdown(events) == stats.stage_totals()
         assert all(r.stage_seconds for r in stats.records)
+
+    def test_exclusive_totals_never_double_count(self):
+        _, stats = self._run("serial")
+        incl = stats.stage_totals(exclusive=False)
+        excl = stats.stage_totals()
+        # The historical bug: summing the inclusive dict counts the
+        # commit phase twice (commit ⊇ encode + merkle).
+        assert excl["commit"] == pytest.approx(
+            max(0.0, incl["commit"] - incl["encode"] - incl["merkle"])
+        )
+        for name in ("encode", "merkle", "sumcheck1", "sumcheck2", "open"):
+            assert excl[name] == incl[name]
+        assert sum(excl.values()) < sum(incl.values())
+        # Exclusive fractions are shares of proving wall time: their sum
+        # never exceeds the summed in-stage proving seconds.
+        prove_wall = sum(r.prove_seconds for r in stats.records)
+        assert sum(excl.values()) <= prove_wall + 1e-9
+
+    def test_report_split_sums_to_at_most_wall(self):
+        _, stats = self._run("serial")
+        split_line = next(
+            line for line in stats.report().splitlines()
+            if line.startswith("stage split")
+        )
+        shown = sum(
+            float(tok[:-2]) for tok in split_line.split() if tok.endswith("ms")
+        )
+        prove_wall = sum(r.prove_seconds for r in stats.records) * 1e3
+        assert shown <= prove_wall * 1.01 + 0.1  # rounding slack
 
     def test_missing_task_raises(self):
         text, _ = self._run("serial")

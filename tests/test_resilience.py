@@ -410,8 +410,10 @@ class TestChaosParity:
     @pytest.mark.parametrize("selector", [
         "serial",
         "pool:2",
+        "pipelined:2",
         "sharded:serial,serial",
         "resilient:sharded:serial,serial",
+        "resilient:pipelined:2",
     ])
     @pytest.mark.parametrize("seed", [5, 11])
     def test_crash_storm_preserves_bytes(
@@ -470,6 +472,24 @@ class TestResilientBackend:
         assert isinstance(verdict, QuarantinedTaskError)
         assert verdict.task_id == 3
         assert len(verdict.tried_on) == 2  # failed on both children
+        good = [r for i, r in enumerate(results) if i != 3]
+        oracle = [w for i, w in enumerate(fault_free) if i != 3]
+        assert _wire(good) == oracle
+        assert backend.last_resilience_stats.quarantined == 1
+
+    def test_poison_quarantined_through_pipelined_child(
+        self, setup, fault_free
+    ):
+        """``resilient:pipelined:W`` composes: the pipelined child's
+        exhausted-retry ProofError is attributed and the poison task
+        quarantined, without losing the rest of the batch."""
+        _, spec, tasks = setup
+        backend = resolve_backend("resilient:pipelined:2")
+        injector = FaultInjector.from_plan("poison=3,seed=1")
+        apply_fault_plan(backend, injector)
+        results, _ = backend.prove_tasks(spec, tasks)
+        assert isinstance(results[3], QuarantinedTaskError)
+        assert results[3].task_id == 3
         good = [r for i, r in enumerate(results) if i != 3]
         oracle = [w for i, w in enumerate(fault_free) if i != 3]
         assert _wire(good) == oracle
@@ -768,6 +788,58 @@ class TestJournaledProve:
         assert report2.proved == 1
         verifier = spec.build_verifier()
         assert verifier.verify(again[1], tasks[1].public_values)
+
+    def test_kill_and_resume_reattempts_poisoned_task(self, tmp_path):
+        """Regression: a poison task's quarantined slot must never be
+        mistaken for completed work on ``--resume``.
+
+        Run 1 quarantines the poison task and is killed before the last
+        chunk.  The resumed run must re-attempt the poison task (and
+        re-quarantine it) — never silently skip it — and a final healthy
+        resume proves it.
+        """
+        spec, tasks = _chain_setup()  # 4 tasks, distinct keys
+        path = str(tmp_path / "run.jsonl")
+        poison_key = task_key(spec, tasks[2])
+
+        def poisoned():
+            backend = resolve_backend("resilient:serial")
+            injector = FaultInjector.from_plan("poison=2,seed=7")
+            apply_fault_plan(backend, injector)
+            return backend
+
+        # Run 1: singleton chunks; tasks 0, 1 journal, task 2 is
+        # quarantined, then the process dies before task 3's chunk.
+        dying = ExplodingBackend(poisoned(), survive=3)
+        with pytest.raises(RuntimeError, match="kill"):
+            journaled_prove(
+                dying, spec, tasks, path, checkpoint_every=1
+            )
+        entries, _ = ProofJournal.load(path, spec)
+        assert poison_key not in entries  # the quarantine never journaled
+        assert len(entries) == 2
+
+        # Resume while still poisoned: the task is re-attempted and
+        # re-quarantined, not served from the journal.
+        results, _, report = journaled_prove(
+            poisoned(), spec, tasks, path, resume=True,
+            checkpoint_every=1,
+        )
+        assert report.skipped == 2
+        assert report.quarantined == 1
+        assert report.proved == 1  # task 3 finally lands
+        assert isinstance(results[2], QuarantinedTaskError)
+        entries, _ = ProofJournal.load(path, spec)
+        assert poison_key not in entries
+
+        # Resume once the poison clears: exactly the owed task is proved.
+        final, _, report2 = journaled_prove(
+            resolve_backend("resilient:serial"), spec, tasks, path,
+            resume=True,
+        )
+        assert report2.skipped == 3 and report2.proved == 1
+        verifier = spec.build_verifier()
+        assert verifier.verify(final[2], tasks[2].public_values)
 
     def test_invalid_checkpoint_rejected(self, tmp_path):
         spec, tasks = _chain_setup(num_tasks=1)
