@@ -21,6 +21,8 @@ Subpackages (see DESIGN.md for the full inventory):
 ``pipeline``    module stage graphs, the Figure 7 system
 ``runtime``     process-pool parallel proving with retries + metrics
 ``execution``   unified proving backends (serial/pool/sharded), traces
+``cluster``     multi-node proving: wire protocol, ring routing,
+                autoscaling (``remote:``/``cluster:`` selectors)
 ``baselines``   NTT, MSM, Groth-like prover, vendor models
 ``zkml``        quantized CNNs, VGG-16, the MLaaS service
 ``bench``       table/figure regeneration runners

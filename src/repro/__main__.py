@@ -19,6 +19,14 @@ Resilience drills (S25)::
     python -m repro prove --journal out.jsonl            # crash-safe WAL
     python -m repro prove --journal out.jsonl --resume   # skip proven tasks
     python -m repro serve --fault-plan batch:0.2,seed=3  # chaos in the service
+
+Cluster (S28)::
+
+    python -m repro node --listen 127.0.0.1:9100 --backend pool:4
+    python -m repro prove --backend remote:127.0.0.1:9100
+    python -m repro prove --backend cluster:remote:127.0.0.1:9100,remote:127.0.0.1:9101
+    python -m repro autoscale --rates 2,8,8,1 --per-proof-ms 250 --max-nodes 4
+    python -m repro autoscale --rates 2,8 --spawn serial   # actuate real nodes
 """
 
 from __future__ import annotations
@@ -299,6 +307,101 @@ def _run_serve(args) -> int:
     return 0 if ok else 1
 
 
+def _run_node(args) -> int:
+    """Serve one proving node over TCP until interrupted."""
+    from .cluster import NodeServer
+
+    host, sep, port = args.listen.rpartition(":")
+    if not sep or not port.isdigit():
+        print(f"error: --listen wants HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 1
+    selector = args.backend
+    if selector is None:
+        selector = "serial" if args.workers == 1 else f"pool:{args.workers}"
+    server = NodeServer(
+        host or "127.0.0.1",
+        int(port),
+        backend=selector,
+        chunk_size=args.chunk_size,
+        die_after=args.die_after,
+    )
+    # The READY line is the spawn contract: NodePool (and the CI smoke
+    # job) block on it to learn the ephemeral port.
+    print(f"READY {server.host} {server.port}", flush=True)
+    print(
+        f"node serving backend {server.backend.name} "
+        f"(parallelism {getattr(server.backend, 'parallelism', 1)}, "
+        f"chunk {server.chunk_size})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _run_autoscale(args) -> int:
+    """Replay arrival-rate readings through the load-model autoscaler."""
+    from .cluster import Autoscaler, LoadModel, NodePool
+    from .runtime import JsonlTraceSink
+
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"error: --rates wants comma-separated numbers, "
+              f"got {args.rates!r}", file=sys.stderr)
+        return 1
+    if not rates:
+        print("error: --rates is empty", file=sys.stderr)
+        return 1
+    model = LoadModel(
+        per_proof_seconds=args.per_proof_ms / 1e3,
+        node_parallelism=args.node_parallelism,
+    )
+    trace = JsonlTraceSink(args.trace) if args.trace else None
+    pool = NodePool(backend=args.spawn) if args.spawn else None
+    mode = f"spawning '{args.spawn}' nodes" if pool else "dry run"
+    print(
+        f"autoscaling for {model.per_proof_seconds * 1e3:.0f} ms/proof, "
+        f"{model.node_parallelism} proofs/node, "
+        f"{args.min_nodes}..{args.max_nodes} nodes ({mode})"
+    )
+    scaler = Autoscaler(
+        model,
+        pool,
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes,
+        cooldown_seconds=0.0,
+        shrink_patience=args.shrink_patience,
+        trace=trace,
+    )
+    try:
+        if pool is not None:
+            pool.scale_to(args.min_nodes)
+        for rate in rates:
+            decision = scaler.observe(rate)
+            print(
+                f"  rate {rate:6.1f}/s  util {decision['utilization']:.2f}  "
+                f"target {decision['target']}  "
+                f"{decision['action']} ({decision['reason']})  "
+                f"nodes {scaler.current_nodes}"
+            )
+        if pool is not None:
+            print(f"final fleet: {pool.cluster_selector()}")
+    finally:
+        if pool is not None:
+            pool.close()
+        if trace is not None:
+            trace.close()
+    if args.trace:
+        print(f"trace events written to {args.trace}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -307,7 +410,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(TABLES)
-        + ["fig9", "breakdown", "all", "list", "apidoc", "prove", "serve"],
+        + ["fig9", "breakdown", "all", "list", "apidoc", "prove", "serve",
+           "node", "autoscale"],
         help="which artifact to regenerate",
     )
     parser.add_argument(
@@ -416,7 +520,62 @@ def main(argv=None) -> int:
         "--verify-sample", type=int, default=8,
         help="how many returned proofs to spot-verify (default 8)",
     )
+    cluster_group = parser.add_argument_group("cluster options")
+    cluster_group.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="listen address for `node` (port 0 = ephemeral; the node "
+        "prints 'READY host port' once bound)",
+    )
+    cluster_group.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="tasks per streamed RESULT frame for `node` (default: the "
+        "wrapped backend's parallelism)",
+    )
+    cluster_group.add_argument(
+        "--die-after", type=int, default=None, metavar="N",
+        help="chaos drill for `node`: hard-exit after proving N tasks",
+    )
+    cluster_group.add_argument(
+        "--rates", default="1,4,8,8,2,1", metavar="R1,R2,...",
+        help="arrival-rate readings (proofs/s) for `autoscale`",
+    )
+    cluster_group.add_argument(
+        "--per-proof-ms", type=float, default=250.0,
+        help="per-proof busy cost for `autoscale` (default 250 ms)",
+    )
+    cluster_group.add_argument(
+        "--node-parallelism", type=int, default=1,
+        help="concurrent proofs per node for `autoscale` (default 1)",
+    )
+    cluster_group.add_argument(
+        "--min-nodes", type=int, default=1,
+        help="fleet floor for `autoscale` (default 1)",
+    )
+    cluster_group.add_argument(
+        "--max-nodes", type=int, default=4,
+        help="fleet ceiling for `autoscale` (default 4)",
+    )
+    cluster_group.add_argument(
+        "--shrink-patience", type=int, default=2,
+        help="consecutive low readings before `autoscale` shrinks "
+        "(default 2)",
+    )
+    cluster_group.add_argument(
+        "--spawn", default=None, metavar="SELECTOR",
+        help="for `autoscale`: actuate real local node subprocesses "
+        "wrapping this backend (default: dry run, no processes)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment in ("node", "autoscale"):
+        from .errors import ClusterError, ExecutionError
+
+        try:
+            return _run_node(args) if args.experiment == "node" else \
+                _run_autoscale(args)
+        except (ClusterError, ExecutionError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.experiment in ("prove", "serve"):
         from .errors import (

@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.runtime",
     "repro.execution",
     "repro.resilience",
+    "repro.cluster",
     "repro.service",
     "repro.baselines",
     "repro.zkml",

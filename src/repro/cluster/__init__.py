@@ -1,0 +1,84 @@
+"""Distributed proving cluster (system S28 in DESIGN.md): scale out.
+
+BatchZK scales *up* one machine with a pipelined GPU; a proving service
+eventually scales *out* to many.  This package turns any local
+:class:`~repro.execution.ProvingBackend` into a fleet member and any
+client into a coordinator:
+
+* :class:`NodeServer` — ``python -m repro node --listen HOST:PORT
+  --backend pool:4`` serves the framed, versioned wire protocol of
+  :mod:`repro.cluster.protocol` over TCP, streaming each batch's proofs
+  back chunk by chunk and reporting its cache gauges in ``STATS``.
+* :class:`RemoteBackend` / :class:`ClusterBackend` — ``remote:host:port``
+  proxies one node; ``cluster:remote:a,remote:b,...`` routes batches by
+  circuit digest over a consistent-hash :class:`HashRing`, so the same
+  circuit always lands on the same nodes (their
+  :class:`~repro.kernels.SpecCache` stays hot) and a dead node's arc
+  fails over to its ring successors behind the S25 circuit breakers —
+  ``resilient:cluster:...`` composes for task-level quarantine on top.
+* :class:`LoadModel` / :class:`Autoscaler` / :class:`NodePool` — sizes
+  the fleet from measured per-proof cost × live arrival rate (the same
+  calibration discipline as :mod:`repro.gpu.costs`), actuating local
+  node subprocesses and tracing every ``scale_decision``.
+
+Proof bytes are invariant across all of it: a cluster proof is
+byte-identical to a serial one, including after mid-batch node deaths.
+"""
+
+from .autoscale import Autoscaler, LoadModel, NodePool, probe_node
+from .coordinator import ClusterBackend
+from .node import NodeServer
+from .protocol import PROTOCOL_VERSION
+from .remote import RemoteBackend
+from .ring import HashRing, key_point
+
+__apidoc__ = """\
+**The wire.** One frame = a 12-byte header (magic ``RPCL``, protocol
+version, kind, payload length) + a pickled dict.  Every compatibility
+check runs *before* unpickling: wrong magic, wrong frame revision, or a
+`HELLO`/`PROVE` from a different `repro.__version__` raises a typed
+`ProtocolMismatchError` naming both versions.  `PROVE` carries the
+circuit digest next to the pickled spec and the node recomputes it, so
+the routing key can never drift from the payload.  Nodes stream
+`RESULT` frames per chunk — the coordinator deserializes early proofs
+while late ones are still proving — then close the batch with `DONE`
+(the run report).
+
+**Routing.** `HashRing` places each node at 64 virtual SHA-256 points;
+a batch's circuit digest hashes to a ring position and
+`nodes_for(digest, k)` yields the clockwise succession: the owner, then
+the failover order.  Affinity (same circuit → same nodes, hot caches)
+and minimal remap (a join/leave moves ≈ 1/N of circuits) follow from
+the construction; `ClusterBackend.cluster_stats()["cache_affinity"]`
+measures the payoff as Σ hits / Σ lookups across the fleet's `STATS`.
+
+**Failure model.** Transport loss anywhere becomes
+`BackendUnavailableError` — the same blameless-outage type the S25
+layer speaks — so per-node `CircuitBreaker`s open on a dead peer, the
+orphaned share re-runs on ring successors (`ring_rebalance` events),
+and `resilient:cluster:...` adds task-level quarantine above.  Version
+skew and digest disagreement are *not* retried: they are configuration
+errors, and the fleet fails loudly.
+
+**Autoscaling.** `LoadModel.from_stage_profile(stages,
+node_parallelism=4)` calibrates per-proof busy-seconds from measured
+stage timings; `target_nodes(rate)` is `ceil(rate × cost /
+(parallelism × headroom))`.  `Autoscaler` grows immediately, shrinks
+only after `shrink_patience` consecutive low readings (retiring a node
+discards warm caches), and actuates a `NodePool` of local
+`python -m repro node` subprocesses, emitting `scale_decision` /
+`node_join` / `node_leave` on the shared span schema.
+"""
+
+__all__ = [
+    "Autoscaler",
+    "ClusterBackend",
+    "HashRing",
+    "LoadModel",
+    "NodePool",
+    "NodeServer",
+    "PROTOCOL_VERSION",
+    "RemoteBackend",
+    "key_point",
+    "probe_node",
+]

@@ -1,0 +1,411 @@
+"""The cluster coordinator: ring-routed dispatch across proving nodes.
+
+``resolve_backend("cluster:remote:a:1,remote:b:2")`` builds a
+:class:`ClusterBackend` whose children are (usually) remote nodes.  One
+batch flows through three decisions:
+
+1. **Affinity order** — the batch's circuit digest is looked up on a
+   consistent-hash :class:`~repro.cluster.HashRing`; the resulting node
+   order is deterministic per circuit, so the same circuit always lands
+   on the same ordered subset of the fleet and every node's
+   :class:`~repro.kernels.SpecCache` working set stays small and hot.
+2. **Admission** — each candidate passes through its own
+   :class:`~repro.resilience.CircuitBreaker` (the S25 state machine,
+   reused verbatim): a node that just died is skipped without a connect
+   attempt until its cooldown admits a probe.
+3. **Sharding** — admitted nodes split the batch proportionally to
+   their advertised ``parallelism`` with the same largest-remainder
+   rounding every other composite backend uses, and shards run
+   concurrently on threads.
+
+A shard that fails with :class:`~repro.errors.BackendUnavailableError`
+(the remote backend's translation of any transport loss) is *failed
+over*: the coordinator emits a ``ring_rebalance`` event and re-runs the
+orphaned tasks on the ring successors, round after round, until they
+finish or no node is admissible.  Because every node proves
+deterministically from the same canonical spec, a failover changes
+*where* a proof is produced but never its bytes — the chaos drill in the
+cluster tests pins that down.  Configuration errors
+(:class:`~repro.errors.ProtocolMismatchError`, unknown selectors) are
+never retried: a version-skewed fleet fails loudly, not slowly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.batch import ProofTask
+from ..core.proof import SnarkProof
+from ..errors import (
+    BackendUnavailableError,
+    ClusterError,
+    ExecutionError,
+)
+from ..execution.backend import ProvingBackend, _span_for
+from ..execution.sharding import largest_remainder_shares
+from ..resilience.health import OPEN, CLOSED, CircuitBreaker, HealthTracker
+from ..runtime.spec import ProverSpec
+from ..runtime.stats import RuntimeStats, merge_runtime_stats
+from ..runtime.trace import JsonlTraceSink
+from .ring import HashRing
+
+
+class _Member:
+    """One fleet slot: a child backend plus its health machinery."""
+
+    def __init__(
+        self,
+        member_id: str,
+        backend: ProvingBackend,
+        breaker: CircuitBreaker,
+    ):
+        self.id = member_id
+        self.backend = backend
+        self.breaker = breaker
+        self.health = HealthTracker(member_id)
+
+    @property
+    def weight(self) -> float:
+        return float(max(1, getattr(self.backend, "parallelism", 1)))
+
+
+class ClusterBackend:
+    """Composite backend routing batches over a node fleet by digest.
+
+    Args:
+        children:           Child backends (typically ``RemoteBackend``
+                            instances; any ``ProvingBackend`` works, so
+                            the tests can cluster in-process backends).
+        replicas:           Virtual points per node on the hash ring.
+        fanout:             Max nodes per batch (0 = use every admitted
+                            node in affinity order — full throughput).
+        failure_threshold:  Consecutive failures that open a node's
+                            breaker (default 1: a dead TCP peer should
+                            stop receiving work immediately).
+        cooldown_seconds:   Open-breaker dwell before a probe.
+        half_open_probes:   Probe budget while half-open.
+        max_unavailable_seconds:  How long one batch keeps waiting for
+                            *any* admissible node before giving up.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[ProvingBackend],
+        *,
+        replicas: int = 64,
+        fanout: int = 0,
+        failure_threshold: int = 1,
+        cooldown_seconds: float = 0.25,
+        half_open_probes: int = 1,
+        max_unavailable_seconds: float = 5.0,
+    ):
+        children = list(children)
+        if not children:
+            raise ClusterError("ClusterBackend needs at least one node")
+        if fanout < 0:
+            raise ClusterError(f"fanout must be >= 0, got {fanout}")
+        self.replicas = replicas
+        self.fanout = fanout
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_probes = half_open_probes
+        self.max_unavailable_seconds = max_unavailable_seconds
+        self._lock = threading.Lock()
+        self._members: Dict[str, _Member] = {}
+        self._joined = 0
+        self.ring = HashRing(replicas=replicas)
+        #: (event, fields) pairs emitted by breaker transitions between
+        #: runs; flushed onto the next run's span.
+        self._pending_events: List[Tuple[str, dict]] = []
+        for child in children:
+            self._admit_member(child, announce=False)
+        self.name = "cluster:" + ",".join(
+            member.backend.name for member in self._members.values()
+        )
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def parallelism(self) -> int:
+        with self._lock:
+            return max(
+                1,
+                sum(int(m.weight) for m in self._members.values()),
+            )
+
+    @property
+    def members(self) -> List[_Member]:
+        with self._lock:
+            return list(self._members.values())
+
+    def _admit_member(
+        self, backend: ProvingBackend, *, announce: bool
+    ) -> _Member:
+        with self._lock:
+            member_id = f"{self._joined}:{backend.name}"
+            self._joined += 1
+
+        def on_transition(
+            from_state: str, to_state: str, member_id: str = member_id
+        ) -> None:
+            fields = {"node": member_id, "from": from_state, "to": to_state}
+            with self._lock:
+                self._pending_events.append(("breaker", dict(fields)))
+                if to_state == OPEN:
+                    self._pending_events.append(
+                        ("node_leave", {"node": member_id,
+                                        "reason": "breaker_open"})
+                    )
+                elif to_state == CLOSED and from_state != CLOSED:
+                    self._pending_events.append(
+                        ("node_join", {"node": member_id,
+                                       "reason": "breaker_closed"})
+                    )
+
+        breaker = CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            cooldown_seconds=self.cooldown_seconds,
+            half_open_probes=self.half_open_probes,
+            on_transition=on_transition,
+        )
+        member = _Member(member_id, backend, breaker)
+        with self._lock:
+            self._members[member_id] = member
+            if announce:
+                self._pending_events.append(
+                    ("node_join", {"node": member_id, "reason": "added"})
+                )
+                self._pending_events.append(
+                    ("ring_rebalance",
+                     {"node": member_id, "nodes": len(self._members)})
+                )
+        self.ring.add(member_id)
+        return member
+
+    def add_node(self, backend: ProvingBackend) -> str:
+        """Join a node mid-flight; only ≈1/N of circuits re-home to it."""
+        return self._admit_member(backend, announce=True).id
+
+    def remove_node(self, member_id: str) -> None:
+        """Retire a node; its ring arcs fall to the clockwise successors."""
+        with self._lock:
+            member = self._members.pop(member_id, None)
+            if member is None:
+                raise ClusterError(f"no cluster member {member_id!r}")
+            self._pending_events.append(
+                ("node_leave", {"node": member_id, "reason": "removed"})
+            )
+            self._pending_events.append(
+                ("ring_rebalance",
+                 {"node": member_id, "nodes": len(self._members)})
+            )
+        self.ring.remove(member_id)
+        close = getattr(member.backend, "close", None)
+        if callable(close):
+            try:
+                close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Close every child that holds a connection."""
+        for member in self.members:
+            close = getattr(member.backend, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except Exception:
+                    pass
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _flush_events(self, ctx) -> None:
+        with self._lock:
+            pending, self._pending_events = self._pending_events, []
+        for event, fields in pending:
+            ctx.emit(event, **fields)
+
+    def _affinity_order(self, digest: bytes) -> List[str]:
+        want = len(self.ring) if self.fanout == 0 else self.fanout
+        return self.ring.nodes_for(digest, max(1, want))
+
+    def prove_tasks(
+        self,
+        spec: ProverSpec,
+        tasks: Sequence[ProofTask],
+        *,
+        trace: Optional[JsonlTraceSink] = None,
+        parent: Optional[str] = None,
+    ) -> Tuple[List[SnarkProof], RuntimeStats]:
+        tasks = list(tasks)
+        ctx = _span_for(trace, parent)
+        digest = spec.r1cs.digest()
+        start = time.perf_counter()
+        ctx.emit(
+            "cluster_start", backend=self.name, tasks=len(tasks),
+            nodes=len(self.ring), circuit=digest.hex()[:16],
+        )
+        self._flush_events(ctx)
+        results: List[Optional[SnarkProof]] = [None] * len(tasks)
+        part_stats: List[RuntimeStats] = []
+        pending: List[int] = list(range(len(tasks)))
+        deadline = time.monotonic() + self.max_unavailable_seconds
+        round_no = 0
+        while pending:
+            round_no += 1
+            order = self._affinity_order(digest)
+            admitted: List[_Member] = []
+            with self._lock:
+                members = dict(self._members)
+            for member_id in order:
+                member = members.get(member_id)
+                if member is not None and member.breaker.acquire():
+                    admitted.append(member)
+            if not admitted:
+                self._flush_events(ctx)
+                waits = [
+                    m.breaker.seconds_until_probe()
+                    for m in members.values()
+                ]
+                wait = min((w for w in waits), default=0.0)
+                if time.monotonic() + wait > deadline:
+                    raise BackendUnavailableError(
+                        f"{self.name}: no admissible node for "
+                        f"{len(pending)} tasks after {round_no - 1} "
+                        "failover rounds; health: "
+                        + "; ".join(
+                            m.health.summary() for m in members.values()
+                        )
+                    )
+                time.sleep(max(wait, 0.01))
+                continue
+            shares = largest_remainder_shares(
+                len(pending), [m.weight for m in admitted]
+            )
+            plan: List[Tuple[_Member, List[int]]] = []
+            lo = 0
+            for member, share in zip(admitted, shares):
+                if share == 0:
+                    # Admitted but unused: return the probe slot.
+                    member.breaker.release()
+                    continue
+                plan.append((member, pending[lo:lo + share]))
+                lo += share
+            if round_no > 1:
+                ctx.emit(
+                    "ring_rebalance",
+                    node=",".join(m.id for m, _ in plan),
+                    reassigned=len(pending), round=round_no,
+                )
+
+            def run_shard(member: _Member, indices: List[int]):
+                return member.backend.prove_tasks(
+                    spec, [tasks[i] for i in indices],
+                    trace=ctx.sink, parent=ctx.span,
+                )
+
+            if len(plan) == 1:
+                outcomes = [self._attempt(plan[0][0], run_shard, plan[0][1])]
+            else:
+                with ThreadPoolExecutor(max_workers=len(plan)) as pool:
+                    futures = [
+                        pool.submit(self._attempt, member, run_shard, indices)
+                        for member, indices in plan
+                    ]
+                    outcomes = [future.result() for future in futures]
+            still_pending: List[int] = []
+            for (member, indices), outcome in zip(plan, outcomes):
+                if isinstance(outcome, BackendUnavailableError):
+                    still_pending.extend(indices)
+                    ctx.emit(
+                        "node_failure", node=member.id,
+                        tasks=len(indices), error=str(outcome)[:160],
+                    )
+                    continue
+                shard_results, shard_stats = outcome
+                for index, result in zip(indices, shard_results):
+                    results[index] = result
+                part_stats.append(shard_stats)
+            self._flush_events(ctx)
+            pending = still_pending
+        stats = merge_runtime_stats(
+            part_stats, total_seconds=time.perf_counter() - start
+        )
+        ctx.emit(
+            "cluster_end", proofs=len(tasks), rounds=round_no,
+            seconds=stats.total_seconds,
+        )
+        if ctx.sink is not None:
+            ctx.sink.flush()
+        return results, stats  # type: ignore[return-value]
+
+    @staticmethod
+    def _attempt(member: _Member, run_shard, indices: List[int]):
+        """Run one shard, concluding the breaker either way.
+
+        Returns the (results, stats) pair, or the
+        :class:`BackendUnavailableError` itself for the failover loop —
+        any *other* exception (protocol mismatch, proving bug)
+        propagates and fails the batch, because retrying it elsewhere
+        would hide a real defect.
+        """
+        try:
+            outcome = run_shard(member, indices)
+        except BackendUnavailableError as exc:
+            member.breaker.record_failure()
+            member.health.record_failure(str(exc))
+            return exc
+        except Exception as exc:
+            member.breaker.record_failure()
+            member.health.record_failure(str(exc))
+            raise
+        member.breaker.record_success()
+        member.health.record_success(tasks=len(indices))
+        return outcome
+
+    # -- observability ---------------------------------------------------------
+
+    def cluster_stats(self) -> dict:
+        """Fleet-wide gauges, including the aggregate cache affinity.
+
+        ``cache_affinity`` is Σ spec-affinity hits / Σ lookups across
+        every reachable node — the fraction of tasks that arrived at a
+        node already holding their circuit.  Ring routing exists to keep
+        this near 1.0; the affinity test asserts ≥ 0.9.
+        """
+        nodes = {}
+        hits = misses = 0
+        for member in self.members:
+            fetch = getattr(member.backend, "fetch_stats", None)
+            if not callable(fetch):
+                nodes[member.id] = {"reachable": False, "local": True}
+                continue
+            try:
+                payload = fetch()
+            except (BackendUnavailableError, ExecutionError) as exc:
+                nodes[member.id] = {"reachable": False,
+                                    "error": str(exc)[:120]}
+                continue
+            payload["reachable"] = True
+            nodes[member.id] = payload
+            affinity = payload.get("spec_affinity") or {}
+            hits += int(affinity.get("hits") or 0)
+            misses += int(affinity.get("misses") or 0)
+        looked_up = hits + misses
+        return {
+            "backend": self.name,
+            "nodes": nodes,
+            "ring_nodes": len(self.ring),
+            "cache_affinity": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / looked_up) if looked_up else 0.0,
+            },
+            "health": {
+                member.id: member.health.summary()
+                for member in self.members
+            },
+        }

@@ -1,0 +1,119 @@
+"""Consistent-hash ring for cache-affinity task routing.
+
+The coordinator routes every batch by its circuit digest: the digest
+hashes to a point on a ring of 2^64 positions, and the batch's preferred
+nodes are the ring's clockwise successors from that point.  Two
+properties make this the right structure for a proving fleet:
+
+* **Affinity** — the same circuit always maps to the same node order, so
+  a node sees the same circuits batch after batch and its
+  :class:`~repro.kernels.SpecCache` / :class:`~repro.kernels.EncoderCache`
+  stay hot; different circuits start at different ring points, spreading
+  load across the fleet.
+* **Minimal remap** — each node owns ``replicas`` scattered virtual
+  points, so adding or removing one node moves only the keys in that
+  node's own arcs (≈ 1/N of the keyspace), never reshuffling the other
+  nodes' cache working sets — the property the ring tests pin down.
+
+The ring is deterministic (SHA-256 placement, no RNG) and thread-safe
+for the coordinator's concurrent dispatch threads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Iterable, List, Tuple
+
+from ..errors import ClusterError
+
+
+def _point(data: bytes) -> int:
+    """A ring position in [0, 2^64) from arbitrary bytes."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+def key_point(key: bytes) -> int:
+    """The ring position of a routing key (e.g. a circuit digest)."""
+    return _point(b"key|" + key)
+
+
+class HashRing:
+    """A consistent-hash ring over opaque node identifiers.
+
+    >>> ring = HashRing(["a", "b", "c"])
+    >>> ring.node_for(b"circuit-digest") in ("a", "b", "c")
+    True
+    >>> ring.nodes_for(b"circuit-digest", 3)  # distinct, affinity order
+    ['c', 'a', 'b']
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ClusterError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        self._nodes: List[str] = []
+        #: Sorted (point, node) pairs — the ring itself.
+        self._ring: List[Tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[str]:
+        """Member identifiers in insertion order."""
+        with self._lock:
+            return list(self._nodes)
+
+    def _points_of(self, node: str) -> List[int]:
+        return [
+            _point(f"node|{node}|{replica}".encode())
+            for replica in range(self.replicas)
+        ]
+
+    def add(self, node: str) -> None:
+        """Join one node (its virtual points enter the ring)."""
+        with self._lock:
+            if node in self._nodes:
+                raise ClusterError(f"node {node!r} already on the ring")
+            self._nodes.append(node)
+            for point in self._points_of(node):
+                bisect.insort(self._ring, (point, node))
+
+    def remove(self, node: str) -> None:
+        """Leave one node (only its own arcs are reassigned)."""
+        with self._lock:
+            if node not in self._nodes:
+                raise ClusterError(f"node {node!r} is not on the ring")
+            self._nodes.remove(node)
+            self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    def node_for(self, key: bytes) -> str:
+        """The key's owner: the first virtual point clockwise from it."""
+        return self.nodes_for(key, 1)[0]
+
+    def nodes_for(self, key: bytes, count: int) -> List[str]:
+        """Up to ``count`` *distinct* nodes in clockwise (affinity) order.
+
+        The first entry is the key's owner; the rest are the failover
+        succession — the coordinator walks this list when a node's
+        breaker is open or its dispatch fails.
+        """
+        if count < 1:
+            raise ClusterError(f"count must be >= 1, got {count}")
+        with self._lock:
+            if not self._ring:
+                raise ClusterError("the ring has no nodes")
+            found: List[str] = []
+            start = bisect.bisect_right(self._ring, (key_point(key),))
+            for offset in range(len(self._ring)):
+                _, node = self._ring[(start + offset) % len(self._ring)]
+                if node not in found:
+                    found.append(node)
+                    if len(found) == count or len(found) == len(self._nodes):
+                        break
+            return found

@@ -136,6 +136,39 @@ class JournalError(ResilienceError):
     """Proof-journal corruption or spec mismatch on resume."""
 
 
+class ClusterError(ReproError):
+    """Distributed-cluster failure (protocol, node lifecycle, routing)."""
+
+
+class ProtocolMismatchError(ClusterError):
+    """Node and coordinator disagree on the wire format or library version.
+
+    Raised *before* any payload is deserialized, so a version skew fails
+    with a typed, actionable message instead of a pickle explosion deep
+    inside the frame decoder.  ``ours``/``theirs`` carry the two sides'
+    version spellings when known.
+    """
+
+    def __init__(
+        self, detail: str, ours: str = "", theirs: str = ""
+    ) -> None:
+        self.ours = ours
+        self.theirs = theirs
+        message = f"protocol mismatch: {detail}"
+        if ours or theirs:
+            message += f" (ours {ours!r}, theirs {theirs!r})"
+        super().__init__(message)
+
+
+class NodeConnectionError(ClusterError):
+    """A cluster peer hung up or the stream was cut mid-frame.
+
+    The remote backend translates this into
+    :class:`BackendUnavailableError` so the resilience layer treats a
+    dead node as a blameless child-level outage.
+    """
+
+
 class ServiceError(ReproError):
     """Streaming proof-service failure (submission, lifecycle, tickets)."""
 

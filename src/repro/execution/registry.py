@@ -16,6 +16,10 @@ code::
                                 the same two pools behind per-child
                                 circuit breakers with failover and
                                 poison-task quarantine (S25)
+    remote:127.0.0.1:9100       one proving node over TCP (S28)
+    cluster:remote:h1:9100,remote:h2:9100
+                                digest-routed fleet of nodes with
+                                cache-affinity consistent hashing (S28)
 
 :func:`resolve_backend` also passes through an already-constructed
 :class:`~repro.execution.ProvingBackend` unchanged, so programmatic
@@ -26,6 +30,7 @@ multi-backend scaling items on the roadmap build on.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, List, Union
 
 from ..errors import ExecutionError
@@ -76,12 +81,17 @@ def resolve_backend(selector: BackendSelector) -> ProvingBackend:
     if not text:
         raise ExecutionError("empty backend selector")
     head, _, rest = text.partition(":")
-    factory = _FACTORIES.get(head.strip().lower())
+    key = head.strip().lower()
+    factory = _FACTORIES.get(key)
     if factory is None:
-        raise ExecutionError(
+        message = (
             f"unknown backend {head!r}; available: "
             + ", ".join(available_backends())
         )
+        close = difflib.get_close_matches(key, available_backends(), n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise ExecutionError(message)
     return factory(rest.strip())
 
 
@@ -153,8 +163,44 @@ def _make_resilient(rest: str) -> ProvingBackend:
     return ResilientBackend(resolve_backend(rest))
 
 
+def _make_remote(rest: str) -> ProvingBackend:
+    # Imported lazily: repro.cluster imports this package for the
+    # backend protocol and selector resolution (a node resolves its own
+    # wrapped backend), so a module-level import would be a cycle.
+    from ..cluster import RemoteBackend
+
+    host, sep, port = rest.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ExecutionError(
+            f"'remote' wants host:port, e.g. 'remote:127.0.0.1:9100', "
+            f"got {rest!r}"
+        )
+    return RemoteBackend(host, int(port))
+
+
+def _make_cluster(rest: str) -> ProvingBackend:
+    from ..cluster import ClusterBackend
+
+    if not rest:
+        raise ExecutionError(
+            "'cluster' needs comma-separated node selectors, e.g. "
+            "'cluster:remote:127.0.0.1:9100,remote:127.0.0.1:9101'"
+        )
+    parts = [part.strip() for part in rest.split(",")]
+    if any(not part for part in parts):
+        raise ExecutionError(f"empty node in cluster selector {rest!r}")
+    if any(part.split(":", 1)[0].lower() == "cluster" for part in parts):
+        raise ExecutionError(
+            "nested 'cluster' selectors are not expressible in the flat "
+            "string form; compose ClusterBackend instances directly"
+        )
+    return ClusterBackend([resolve_backend(part) for part in parts])
+
+
 register_backend("serial", _make_serial)
 register_backend("pool", _make_pool)
 register_backend("pipelined", _make_pipelined)
 register_backend("sharded", _make_sharded)
 register_backend("resilient", _make_resilient)
+register_backend("remote", _make_remote)
+register_backend("cluster", _make_cluster)

@@ -117,6 +117,19 @@ class TestRegistry:
         for selector in ("serial", "pool:2", "sharded:serial,serial"):
             assert isinstance(resolve_backend(selector), ProvingBackend)
 
+    def test_unknown_selector_lists_names_and_suggests(self):
+        """Regression: the unknown-selector error must enumerate every
+        registered head and offer a did-you-mean for a near miss."""
+        with pytest.raises(ExecutionError) as excinfo:
+            resolve_backend("warp:4")
+        message = str(excinfo.value)
+        for head in available_backends():
+            assert head in message
+        with pytest.raises(ExecutionError, match="did you mean 'serial'"):
+            resolve_backend("serail")
+        with pytest.raises(ExecutionError, match="did you mean 'cluster'"):
+            resolve_backend("clustre:remote:h:1")
+
     def test_bad_selectors_raise_typed_errors(self):
         for bad in (
             "", "warp", "serial:3", "pool:many", "sharded:",
