@@ -1,8 +1,12 @@
 """Execution backends: overhead of the seam, and sharded composition.
 
-Not a paper table: this measures the unified backend layer (S24) that
-every proving entry point now routes through.  Two questions an operator
-cares about before trusting a seam on the hot path:
+Thin CLI shim (S29): the measurement cores live in
+:mod:`repro.experiments.benches` (``run_seam_overhead``,
+``run_composition``) and are registered together as the
+``bench_backends`` experiment — ``python -m repro experiment run
+bench_backends`` is the canonical entry point (artifact dir + ledger).
+Two questions an operator cares about before trusting a seam on the
+hot path:
 
 1. **Overhead** — `SerialBackend` must track inline `prover.prove` calls
    (the abstraction may not tax the floor), and `pool:N` must keep the
@@ -16,80 +20,14 @@ Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_backends.py -
 
 import os
 import sys
-import time
 
-from repro.core import (
-    ProofTask,
-    SnarkProver,
-    make_pcs,
-    random_circuit,
-    verify_all,
+from repro.experiments.benches import (  # noqa: F401  (back-compat)
+    run_composition,
+    run_seam_overhead,
 )
-from repro.execution import resolve_backend
-from repro.field import DEFAULT_FIELD
-from repro.runtime import ProverSpec
 
 GATES = 384
 TASKS = 48
-
-
-def _setup(gates: int = GATES, tasks: int = TASKS):
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=7)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    spec = ProverSpec.from_prover(prover)
-    task_list = [
-        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
-    ]
-    return prover, spec, task_list
-
-
-def run_seam_overhead(tasks: int = TASKS) -> dict:
-    """Inline prover.prove loop vs the same loop behind SerialBackend."""
-    prover, spec, task_list = _setup(tasks=tasks)
-
-    inline_start = time.perf_counter()
-    inline_proofs = [
-        prover.prove(t.witness, t.public_values) for t in task_list
-    ]
-    inline_seconds = time.perf_counter() - inline_start
-
-    backend = resolve_backend("serial")
-    backend.adopt_prover(spec, prover)
-    seam_start = time.perf_counter()
-    seam_proofs, stats = backend.prove_tasks(spec, task_list)
-    seam_seconds = time.perf_counter() - seam_start
-
-    assert len(seam_proofs) == len(inline_proofs)
-    assert verify_all(spec.build_verifier(), seam_proofs, task_list)
-    return {
-        "tasks": tasks,
-        "inline_seconds": inline_seconds,
-        "seam_seconds": seam_seconds,
-        "overhead_pct": (seam_seconds / inline_seconds - 1.0) * 100.0,
-        "throughput": stats.throughput_per_second,
-    }
-
-
-def run_composition(tasks: int = TASKS, workers: int = 2) -> dict:
-    """One pool vs two concurrent pools behind the sharded backend."""
-    _, spec, task_list = _setup(tasks=tasks)
-    rows = {}
-    for selector in (
-        f"pool:{workers}",
-        f"sharded:pool:{workers},pool:{workers}",
-    ):
-        backend = resolve_backend(selector)
-        start = time.perf_counter()
-        proofs, stats = backend.prove_tasks(spec, task_list)
-        seconds = time.perf_counter() - start
-        assert verify_all(spec.build_verifier(), proofs, task_list)
-        rows[selector] = {
-            "seconds": seconds,
-            "throughput": stats.throughput_per_second,
-            "workers": stats.workers,
-        }
-    return rows
 
 
 if __name__ == "__main__":

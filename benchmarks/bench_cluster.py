@@ -1,20 +1,16 @@
 """Cluster scale-out: 1-node vs 2-node fleets of real node processes.
 
-BatchZK scales one GPU up; the cluster layer (S28) scales machines out.
-This benchmark spawns real ``python -m repro node`` subprocesses via
-:class:`~repro.cluster.NodePool`, routes one batch through the
-``cluster:`` coordinator, and answers the two questions that decide
-whether the wire earns its keep:
-
-1. **Scaling efficiency** — with 2 single-worker nodes on a multi-core
-   host, cluster throughput must reach ``--min-scaling`` (default 1.6×)
-   of the 1-node fleet at the largest swept batch.  On a single-core
-   host two proving processes time-slice one core, so the guard is
-   reported but not enforced there (CI runners have ≥2 cores).
-2. **Byte identity** — every fleet size serializes to the exact serial
-   bytes; distribution buys throughput, never a different transcript.
-
-Results land in ``BENCH_cluster.json``.
+Thin CLI shim (S29): the measurement core lives in
+:func:`repro.experiments.benches.run_cluster_scaleout` and is
+registered as the ``bench_cluster`` experiment — ``python -m repro
+experiment run bench_cluster`` is the canonical entry point (artifact
+dir + ledger).  This script keeps the legacy interface: the
+``--min-scaling`` guard (default 1.6x at the largest swept batch,
+enforced only on hosts with ≥ 2 cores — on a single-core host two
+proving processes time-slice one core, so the guard is reported but
+advisory), ``--quick`` CI sizes, and a JSON dump (now the normalized
+ExperimentResult schema, written to the repo root by default rather
+than next to this script).
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_cluster.py
 Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_cluster.py --quick
@@ -22,20 +18,11 @@ Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_cluster.py --
 
 import argparse
 import json
-import os
-import time
 
-from repro.cluster import NodePool
-from repro.core import (
-    ProofTask,
-    SnarkProver,
-    make_pcs,
-    random_circuit,
-    serialize_proof,
+from repro.experiments import default_bench_json, execute_spec, get_experiment
+from repro.experiments.benches import (  # noqa: F401  (back-compat)
+    run_cluster_scaleout,
 )
-from repro.execution import SerialBackend, resolve_backend
-from repro.field import DEFAULT_FIELD
-from repro.runtime import ProverSpec
 
 GATES = 256
 BATCHES = (8, 16, 32)
@@ -43,116 +30,64 @@ QUICK_GATES = 96
 QUICK_BATCHES = (16,)
 
 
-def _setup(gates: int, tasks: int):
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=7)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    spec = ProverSpec.from_prover(prover)
-    task_list = [
-        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
-    ]
-    return spec, task_list
-
-
-def _measure_fleet(n_nodes: int, spec, task_list):
-    """Throughput of a fresh ``n_nodes``-strong fleet on one batch."""
-    pool = NodePool(backend="serial")
-    try:
-        pool.scale_to(n_nodes)
-        backend = resolve_backend(pool.cluster_selector())
-        # Warm the fleet's caches out-of-band: the steady state the ring
-        # routing maintains is what we are measuring, not cold setup.
-        backend.prove_tasks(spec, task_list[:n_nodes])
-        start = time.perf_counter()
-        proofs, stats = backend.prove_tasks(spec, task_list)
-        seconds = time.perf_counter() - start
-        affinity = backend.cluster_stats()["cache_affinity"]
-        backend.close()
-    finally:
-        pool.close()
-    wire = [serialize_proof(p, DEFAULT_FIELD) for p in proofs]
-    return {
-        "nodes": n_nodes,
-        "seconds": seconds,
-        "throughput_per_s": len(task_list) / seconds,
-        "workers": stats.workers,
-        "cache_affinity": affinity["hit_rate"],
-    }, wire
-
-
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="small sweep for CI smoke")
-    parser.add_argument("--min-scaling", type=float, default=1.6,
+    parser.add_argument("--min-scaling", type=float, default=None,
                         help="required 2-node/1-node throughput ratio at "
-                        "the largest batch (default 1.6; enforced only on "
-                        "hosts with >= 2 cores)")
-    parser.add_argument("--out", default=None,
+                        "the largest batch (default: the registered guard's "
+                        "1.6; enforced only on hosts with >= 2 cores)")
+    parser.add_argument("--out",
+                        default=str(default_bench_json("BENCH_cluster.json")),
                         help="output JSON path (default BENCH_cluster.json "
-                        "next to this script)")
+                        "at the repo root)")
     args = parser.parse_args()
 
-    gates = QUICK_GATES if args.quick else GATES
-    batches = QUICK_BATCHES if args.quick else BATCHES
-    cores = os.cpu_count() or 1
-    print(f"cluster scale-out bench: S={gates} gates, host cores={cores}")
-
-    results = []
-    ratio = None
-    for tasks in batches:
-        spec, task_list = _setup(gates, tasks)
-        serial_wire = [
-            serialize_proof(p, DEFAULT_FIELD)
-            for p in SerialBackend().prove_tasks(spec, task_list)[0]
-        ]
-        row = {"batch": tasks, "fleets": []}
-        for n_nodes in (1, 2):
-            fleet, wire = _measure_fleet(n_nodes, spec, task_list)
-            assert wire == serial_wire, (
-                f"{n_nodes}-node fleet diverged from serial bytes"
-            )
-            row["fleets"].append(fleet)
+    spec = get_experiment("bench_cluster")
+    result = execute_spec(
+        spec,
+        quick=args.quick,
+        guard_overrides=(
+            {"min_scaling": args.min_scaling}
+            if args.min_scaling is not None
+            else None
+        ),
+    )
+    if result.status == "error":
+        print(result.error)
+        return 1
+    payload = result.data
+    print(f"cluster scale-out bench: S={payload['gates']} gates, "
+          f"host cores={payload['host_cores']}")
+    for row in payload["rows"]:
+        for fleet in row["fleets"]:
             print(
-                f"  batch {tasks:3d}  nodes {n_nodes}  "
+                f"  batch {row['batch']:3d}  nodes {fleet['nodes']}  "
                 f"{fleet['throughput_per_s']:6.1f} proofs/s  "
                 f"affinity {fleet['cache_affinity']:.2f}"
             )
-        ratio = (
-            row["fleets"][1]["throughput_per_s"]
-            / row["fleets"][0]["throughput_per_s"]
-        )
-        row["scaling_2_over_1"] = ratio
-        print(f"  batch {tasks:3d}  2-node scaling {ratio:.2f}x")
-        results.append(row)
+        print(f"  batch {row['batch']:3d}  2-node scaling "
+              f"{row['scaling_2_over_1']:.2f}x")
 
-    out_path = args.out or os.path.join(
-        os.path.dirname(os.path.abspath(__file__)), "BENCH_cluster.json"
-    )
-    payload = {
-        "gates": gates,
-        "host_cores": cores,
-        "min_scaling": args.min_scaling,
-        "byte_identical_to_serial": True,
-        "rows": results,
-    }
-    with open(out_path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    print(f"wrote {out_path}")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
 
-    if cores < 2:
+    verdict = result.guards[0]
+    if not verdict.enforced:
         print(
-            f"single-core host: scaling guard ({args.min_scaling:.2f}x) "
-            f"reported but not enforced (measured {ratio:.2f}x)"
+            f"single-core host: scaling guard ({verdict.threshold:.2f}x) "
+            f"reported but not enforced "
+            f"(measured {payload['scaling_2_over_1']:.2f}x)"
         )
         return 0
-    if ratio < args.min_scaling:
-        print(
-            f"FAIL: 2-node scaling {ratio:.2f}x < required "
-            f"{args.min_scaling:.2f}x at batch {results[-1]['batch']}"
-        )
+    if not verdict.passed:
+        print(f"FAIL: {verdict.detail}")
         return 1
-    print(f"scaling guard ok: {ratio:.2f}x >= {args.min_scaling:.2f}x")
+    print(f"scaling guard ok: {verdict.value:.2f}x >= "
+          f"{verdict.threshold:.2f}x")
     return 0
 
 

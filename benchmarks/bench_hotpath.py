@@ -1,20 +1,13 @@
 """Hot-path kernels: end-to-end prover speedup vs the reference path.
 
-The kernel layer (S26) replaces the prover's per-element Python loops
-with batched primitives — split-limb M61 vectors, layer-at-a-time
-hashing, argsorted SpMV, array-state sum-check rounds — behind a
-process-global dispatch switch.  This benchmark proves the bargain both
-ways on one mid-size circuit with the default ``sha256-hw`` hasher:
-
-1. **Speedup** — a single proof on the fast path vs the same proof under
-   :func:`repro.kernels.use_reference_kernels`, with per-stage wall time
-   from :class:`~repro.kernels.profile.StageProfile` for both modes.
-2. **Byte identity** — the two proofs serialize to the same bytes and
-   still verify; the fast path buys time, never a different transcript.
-
-Results land in ``BENCH_hotpath.json`` and a configurable regression
-guard (``--min-speedup``, default 1.2x) exits nonzero when the kernels
-stop paying for themselves.
+Thin CLI shim (S29): the measurement core lives in
+:func:`repro.experiments.benches.run_hotpath` and is registered as the
+``bench_hotpath`` experiment — ``python -m repro experiment run
+bench_hotpath`` is the canonical entry point (artifact dir + ledger).
+This script keeps the legacy interface: the ``--min-speedup`` guard
+(default 1.2x, exits nonzero below it), ``--quick`` CI sizes, and a
+JSON dump (now the normalized ExperimentResult schema, written to the
+repo root by default rather than the shell's cwd).
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_hotpath.py
 Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_hotpath.py --quick
@@ -22,86 +15,14 @@ Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_hotpath.py --
 
 import argparse
 import json
-import time
 
-from repro.core import make_pcs, random_circuit, serialize_proof
-from repro.field import DEFAULT_FIELD
-from repro.gpu import stage_cost_fractions
-from repro.kernels import (
-    collect_stages,
-    default_spec_cache,
-    use_reference_kernels,
-)
-from repro.core import SnarkProver
-from repro.runtime import ProverSpec
+from repro.experiments import default_bench_json, execute_spec, get_experiment
+from repro.experiments.benches import run_hotpath  # noqa: F401  (back-compat)
 
 GATES = 4096
 REPS = 3
 QUICK_GATES = 1024
 QUICK_REPS = 2
-
-
-def _time_proofs(prover, witness, public_values, reps):
-    """Best-of-``reps`` single-proof wall time plus its stage profile."""
-    best_seconds = None
-    best_stages = {}
-    proof = None
-    for _ in range(reps):
-        with collect_stages() as profile:
-            start = time.perf_counter()
-            proof = prover.prove(witness, public_values)
-            elapsed = time.perf_counter() - start
-        if best_seconds is None or elapsed < best_seconds:
-            best_seconds = elapsed
-            best_stages = profile.as_dict()
-    return proof, best_seconds, best_stages
-
-
-def run_hotpath(gates: int = GATES, reps: int = REPS) -> dict:
-    """Fast vs reference single-proof time on one circuit; asserts byte
-    identity of the two serialized proofs."""
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=11)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    spec = ProverSpec.from_prover(prover)
-
-    with use_reference_kernels():
-        ref_prover = spec.build_prover()
-        ref_proof, ref_seconds, ref_stages = _time_proofs(
-            ref_prover, cc.witness, cc.public_values, reps
-        )
-
-    cache = default_spec_cache()
-    misses_before = cache.misses
-    fast_prover = cache.get_prover(spec)
-    cache.get_prover(spec)  # second lookup must hit
-    fast_proof, fast_seconds, fast_stages = _time_proofs(
-        fast_prover, cc.witness, cc.public_values, reps
-    )
-
-    ref_bytes = serialize_proof(ref_proof, DEFAULT_FIELD)
-    fast_bytes = serialize_proof(fast_proof, DEFAULT_FIELD)
-    assert fast_bytes == ref_bytes, "fast path changed the proof bytes"
-    verifier = spec.build_verifier()
-    assert verifier.verify(fast_proof, cc.public_values)
-
-    return {
-        "gates": gates,
-        "reps": reps,
-        "hasher": spec.hasher_name,
-        "reference_seconds": ref_seconds,
-        "fast_seconds": fast_seconds,
-        "speedup": ref_seconds / fast_seconds,
-        "byte_identical": True,
-        "proof_bytes": len(fast_bytes),
-        "reference_stages": ref_stages,
-        "fast_stages": fast_stages,
-        "fast_stage_fractions": stage_cost_fractions(fast_stages),
-        "spec_cache": {
-            "hits": cache.hits,
-            "misses": cache.misses - misses_before,
-        },
-    }
 
 
 def _report(row: dict) -> None:
@@ -128,29 +49,37 @@ if __name__ == "__main__":
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=1.2,
-        help="fail (exit 1) when fast/reference speedup drops below this",
+        default=None,
+        help="fail (exit 1) when fast/reference speedup drops below this "
+        "(default: the registered guard's 1.2)",
     )
     parser.add_argument(
         "--out",
-        default="BENCH_hotpath.json",
+        default=str(default_bench_json("BENCH_hotpath.json")),
         help="where to write the JSON results",
     )
     args = parser.parse_args()
 
-    gates = args.gates or (QUICK_GATES if args.quick else GATES)
-    reps = QUICK_REPS if args.quick else REPS
-    row = run_hotpath(gates=gates, reps=reps)
-    _report(row)
+    spec = get_experiment("bench_hotpath")
+    result = execute_spec(
+        spec,
+        quick=args.quick,
+        param_overrides={"gates": args.gates} if args.gates else None,
+        guard_overrides=(
+            {"min_speedup": args.min_speedup}
+            if args.min_speedup is not None
+            else None
+        ),
+    )
+    if result.status == "error":
+        raise SystemExit(result.error)
+    _report(result.data)
 
-    row["min_speedup"] = args.min_speedup
     with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(row, handle, indent=2, sort_keys=True)
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[hotpath]   wrote {args.out}")
 
-    if row["speedup"] < args.min_speedup:
-        raise SystemExit(
-            f"perf regression: speedup {row['speedup']:.2f}x below the "
-            f"--min-speedup floor {args.min_speedup:.2f}x"
-        )
+    failures = result.guard_failures
+    if failures:
+        raise SystemExit(f"perf regression: {failures[0].detail}")

@@ -1,12 +1,18 @@
 """Parallel proving runtime: scaling vs serial, and crash recovery.
 
+Thin CLI shim (S29): the measurement cores live in
+:mod:`repro.experiments.benches` (``run_scaling``,
+``run_crash_recovery``) and are registered together as the
+``bench_parallel_runtime`` experiment — ``python -m repro experiment
+run bench_parallel_runtime`` is the canonical entry point (artifact
+dir + ledger).  The pytest entry points below stay here so ``pytest
+benchmarks/`` keeps exercising the runtime exactly as before.
+
 Not a paper table: the paper fills a GPU's SMs with a pipelined kernel
 schedule; :mod:`repro.runtime` fills the host's CPU cores with real proof
-generation.  This benchmark measures the functional half's scaling — a
-4-worker pool over ≥ 32 tasks should land well above 2× the serial
-`prove_all` throughput on a ≥ 4-core machine — and demonstrates that an
-injected worker crash mid-batch still yields a complete, verifying proof
-set via the retry path.
+generation — a 4-worker pool over ≥ 32 tasks should land well above 2×
+the serial `prove_all` throughput on a ≥ 4-core machine, and an injected
+worker crash mid-batch must still yield a complete, verifying proof set.
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_parallel_runtime.py
 Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_parallel_runtime.py --quick
@@ -14,90 +20,18 @@ Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_parallel_runt
 
 import os
 import sys
-import time
 
 import pytest
 
-from repro.core import (
-    BatchProver,
-    ProofTask,
-    SnarkProver,
-    make_pcs,
-    random_circuit,
-    verify_all,
+from repro.experiments.benches import (  # noqa: F401  (back-compat)
+    crash_first_attempts,
+    run_crash_recovery,
+    run_scaling,
 )
-from repro.field import DEFAULT_FIELD
-from repro.runtime import ParallelProvingRuntime, ProverSpec
 
-#: Sized so each proof takes ~20 ms: pool startup (~0.1 s) then amortizes
-#: far below the measured speedup on a >= 4-core host.
 GATES = 384
 TASKS = 48
 WORKERS = 4
-
-
-def _setup(gates: int = GATES, tasks: int = TASKS):
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=5)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    task_list = [
-        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
-    ]
-    return prover, task_list
-
-
-def crash_first_attempts(task_id: int, attempt: int) -> None:
-    """Injected fault: tasks 3 and 17 die on their first attempt."""
-    if task_id in (3, 17) and attempt == 1:
-        raise RuntimeError(f"injected worker crash on task {task_id}")
-
-
-def run_scaling(tasks: int = TASKS, workers: int = WORKERS) -> dict:
-    """Serial vs pooled throughput on the same batch."""
-    prover, task_list = _setup(tasks=tasks)
-    spec = ProverSpec.from_prover(prover)
-
-    serial_start = time.perf_counter()
-    serial_proofs, serial_stats = BatchProver(prover).prove_all(task_list)
-    serial_seconds = time.perf_counter() - serial_start
-
-    runtime = ParallelProvingRuntime(spec, workers=workers, chunk_size=2)
-    parallel_start = time.perf_counter()
-    parallel_proofs, parallel_stats = runtime.prove_tasks(task_list)
-    parallel_seconds = time.perf_counter() - parallel_start
-
-    verifier = spec.build_verifier()
-    assert verify_all(verifier, serial_proofs, task_list)
-    assert verify_all(verifier, parallel_proofs, task_list)
-    return {
-        "tasks": tasks,
-        "workers": workers,
-        "serial_seconds": serial_seconds,
-        "serial_throughput": serial_stats.throughput_per_second,
-        "parallel_seconds": parallel_seconds,
-        "parallel_throughput": parallel_stats.throughput_per_second,
-        "speedup": serial_seconds / parallel_seconds,
-        "utilization": parallel_stats.worker_utilization,
-        "p95_latency_ms": parallel_stats.p95_latency_seconds * 1e3,
-    }
-
-
-def run_crash_recovery(tasks: int = TASKS, workers: int = WORKERS) -> dict:
-    """A crashing worker mid-batch must not cost any proofs."""
-    prover, task_list = _setup(tasks=tasks)
-    spec = ProverSpec.from_prover(prover)
-    runtime = ParallelProvingRuntime(
-        spec, workers=workers, fault_injector=crash_first_attempts
-    )
-    proofs, stats = runtime.prove_tasks(task_list)
-    complete = len(proofs) == len(task_list)
-    verified = verify_all(spec.build_verifier(), proofs, task_list)
-    return {
-        "complete": complete,
-        "verified": verified,
-        "retries": stats.retries,
-        "throughput": stats.throughput_per_second,
-    }
 
 
 @pytest.mark.skipif(

@@ -1,21 +1,14 @@
 """Stage-pipelined executor vs pool and serial at equal worker counts.
 
-The pipelined backend (S27) decomposes every proof into its stage units
-(encode → merkle → sumcheck → open) and streams them through per-stage
-worker groups sized from the measured *exclusive* stage fractions — the
-paper's pipelined batch design (Fig. 4), where stage k of proof i
-overlaps stage k+1 of proof i−1.  This benchmark answers the question
-that decides whether the pipeline earns its place:
-
-1. **Throughput** — at equal total workers, ``pipelined:W`` must match
-   or beat ``pool:W`` on uniform batches once the batch is long enough
-   to fill the pipeline; the sweep reports the crossover batch size.
-2. **Byte identity** — every backend's proofs serialize to the exact
-   serial bytes; overlap buys time, never a different transcript.
-
-Results land in ``BENCH_pipeline.json`` and a regression guard
-(``--min-ratio``, default 1.0x) exits nonzero when the pipeline stops
-keeping up with the pool at the largest swept batch.
+Thin CLI shim (S29): the measurement core lives in
+:func:`repro.experiments.benches.run_pipeline_sweep` and is registered
+as the ``bench_pipeline`` experiment — ``python -m repro experiment run
+bench_pipeline`` is the canonical entry point (artifact dir + ledger).
+This script keeps the legacy interface: the ``--min-ratio`` guard
+(default 1.0x, exits nonzero when the pipeline stops keeping up with
+the pool at the largest swept batch), ``--quick`` CI sizes, and a JSON
+dump (now the normalized ExperimentResult schema, written to the repo
+root by default rather than the shell's cwd).
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_pipeline.py
 Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_pipeline.py --quick
@@ -23,100 +16,18 @@ Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_pipeline.py -
 
 import argparse
 import json
-import os
-import time
 
-from repro.core import (
-    ProofTask,
-    SnarkProver,
-    make_pcs,
-    random_circuit,
-    serialize_proof,
+from repro.experiments import default_bench_json, execute_spec, get_experiment
+from repro.experiments.benches import (  # noqa: F401  (back-compat)
+    run_pipeline_sweep,
+    run_pipeline_sweep as run_sweep,
 )
-from repro.execution import resolve_backend
-from repro.field import DEFAULT_FIELD
-from repro.runtime import ProverSpec
 
 GATES = 384
 WORKERS = 2
 BATCHES = (4, 8, 16, 32)
 QUICK_GATES = 128
 QUICK_BATCHES = (4, 8)
-
-
-def _setup(gates: int, tasks: int):
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=7)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    spec = ProverSpec.from_prover(prover)
-    task_list = [
-        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
-    ]
-    return spec, task_list
-
-
-def _measure(selector: str, spec, task_list):
-    """One fresh backend run: wall seconds, throughput, wire bytes.
-
-    A fresh backend per measurement charges the pipelined warmup slice
-    (and the pool's worker startup) to every batch size — the honest
-    cold-start comparison."""
-    backend = resolve_backend(selector)
-    start = time.perf_counter()
-    proofs, stats = backend.prove_tasks(spec, task_list)
-    seconds = time.perf_counter() - start
-    wire = [serialize_proof(p, DEFAULT_FIELD) for p in proofs]
-    return {
-        "seconds": seconds,
-        "throughput": len(task_list) / seconds,
-        "workers": stats.workers,
-    }, wire
-
-
-def run_sweep(gates: int, workers: int, batches) -> dict:
-    """Batch-size sweep of serial vs pool:W vs pipelined:W.
-
-    Asserts byte parity of every backend against serial at every batch
-    size, and reports the smallest batch where the pipeline matches the
-    pool (``crossover_vs_pool``) and serial (``crossover_vs_serial``)."""
-    rows = []
-    crossover_pool = None
-    crossover_serial = None
-    for batch in batches:
-        spec, task_list = _setup(gates, batch)
-        serial_row, serial_wire = _measure("serial", spec, task_list)
-        pool_row, pool_wire = _measure(f"pool:{workers}", spec, task_list)
-        pipe_row, pipe_wire = _measure(
-            f"pipelined:{workers}", spec, task_list
-        )
-        assert pool_wire == serial_wire, "pool changed the proof bytes"
-        assert pipe_wire == serial_wire, "pipeline changed the proof bytes"
-        row = {
-            "batch": batch,
-            "serial": serial_row,
-            f"pool:{workers}": pool_row,
-            f"pipelined:{workers}": pipe_row,
-            "byte_identical": True,
-        }
-        rows.append(row)
-        if (
-            crossover_pool is None
-            and pipe_row["throughput"] >= pool_row["throughput"]
-        ):
-            crossover_pool = batch
-        if (
-            crossover_serial is None
-            and pipe_row["throughput"] >= serial_row["throughput"]
-        ):
-            crossover_serial = batch
-    return {
-        "gates": gates,
-        "workers": workers,
-        "host_cores": os.cpu_count() or 1,
-        "rows": rows,
-        "crossover_vs_pool": crossover_pool,
-        "crossover_vs_serial": crossover_serial,
-    }
 
 
 def _report(result: dict) -> None:
@@ -143,41 +54,47 @@ if __name__ == "__main__":
         "--gates", type=int, default=None, help="circuit size override"
     )
     parser.add_argument(
-        "--workers", type=int, default=WORKERS, help="total workers per side"
+        "--workers", type=int, default=None, help="total workers per side"
     )
     parser.add_argument(
         "--min-ratio",
         type=float,
-        default=1.0,
+        default=None,
         help="fail (exit 1) when pipelined/pool throughput at the largest "
-        "batch drops below this",
+        "batch drops below this (default: the registered guard's 1.0)",
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pipeline.json",
+        default=str(default_bench_json("BENCH_pipeline.json")),
         help="where to write the JSON results",
     )
     args = parser.parse_args()
 
-    gates = args.gates or (QUICK_GATES if args.quick else GATES)
-    batches = QUICK_BATCHES if args.quick else BATCHES
-    result = run_sweep(gates, args.workers, batches)
-    _report(result)
+    overrides = {}
+    if args.gates:
+        overrides["gates"] = args.gates
+    if args.workers:
+        overrides["workers"] = args.workers
+    spec = get_experiment("bench_pipeline")
+    result = execute_spec(
+        spec,
+        quick=args.quick,
+        param_overrides=overrides or None,
+        guard_overrides=(
+            {"min_ratio": args.min_ratio}
+            if args.min_ratio is not None
+            else None
+        ),
+    )
+    if result.status == "error":
+        raise SystemExit(result.error)
+    _report(result.data)
 
-    result["min_ratio"] = args.min_ratio
     with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[pipeline]  wrote {args.out}")
 
-    last = result["rows"][-1]
-    ratio = (
-        last[f"pipelined:{args.workers}"]["throughput"]
-        / last[f"pool:{args.workers}"]["throughput"]
-    )
-    if ratio < args.min_ratio:
-        raise SystemExit(
-            f"perf regression: pipelined:{args.workers} is {ratio:.2f}x the "
-            f"pool:{args.workers} throughput at batch {last['batch']}, "
-            f"below the --min-ratio floor {args.min_ratio:.2f}x"
-        )
+    failures = result.guard_failures
+    if failures:
+        raise SystemExit(f"perf regression: {failures[0].detail}")

@@ -1,141 +1,37 @@
 """Resilience layer: what chaos costs, and what the layer buys back.
 
-Not a paper table: this measures the S25 resilience plane.  Three
-questions an operator asks before turning breakers and failover on in a
-proving farm:
+Thin CLI shim (S29): the measurement cores live in
+:mod:`repro.experiments.benches` (``run_degradation_curve``,
+``run_wrapper_overhead``, ``run_journal_tax``) and are registered
+together as the ``bench_resilience`` experiment — ``python -m repro
+experiment run bench_resilience`` is the canonical entry point
+(artifact dir + ledger).  Three questions an operator asks before
+turning breakers and failover on in a proving farm:
 
 1. **Degradation curve** — throughput vs injected crash rate through
    ``resilient:sharded:serial,serial``.  Faults should cost retries and
    failovers, never proofs; throughput should degrade smoothly, not
    cliff.
 2. **Fault-free overhead** — the resilient wrapper around a sharded
-   core with no chaos, vs the bare sharded core (the tax of breakers,
-   health ledgers, and round planning on the happy path).
-3. **Journal tax** — write-ahead journaling per proof (flush + fsync
-   each append), and what resuming saves when half the batch is
-   already proven.
+   core with no chaos, vs the bare sharded core.
+3. **Journal tax** — write-ahead journaling per proof, and what
+   resuming saves when the whole batch is already proven.
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_resilience.py
 Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_resilience.py --quick
 """
 
-import os
 import sys
-import tempfile
-import time
 
-from repro.core import (
-    ProofTask,
-    SnarkProver,
-    make_pcs,
-    random_circuit,
-    verify_all,
+from repro.experiments.benches import (  # noqa: F401  (back-compat)
+    run_degradation_curve,
+    run_journal_tax,
+    run_wrapper_overhead,
 )
-from repro.execution import resolve_backend
-from repro.field import DEFAULT_FIELD
-from repro.resilience import (
-    FaultInjector,
-    apply_fault_plan,
-    journaled_prove,
-    split_results,
-)
-from repro.runtime import ProverSpec
 
 GATES = 256
 TASKS = 32
 CRASH_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
-
-
-def _setup(gates: int = GATES, tasks: int = TASKS):
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=7)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    spec = ProverSpec.from_prover(prover)
-    task_list = [
-        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
-    ]
-    return spec, task_list
-
-
-def run_degradation_curve(tasks: int = TASKS, rates=CRASH_RATES) -> list:
-    """Throughput vs crash rate; every proof must still verify."""
-    spec, task_list = _setup(tasks=tasks)
-    verifier = spec.build_verifier()
-    rows = []
-    for rate in rates:
-        backend = resolve_backend("resilient:sharded:serial,serial")
-        injector = FaultInjector.from_plan(f"crash:{rate},seed=7")
-        apply_fault_plan(backend, injector, min_retries=4)
-        start = time.perf_counter()
-        results, stats = backend.prove_tasks(spec, task_list)
-        seconds = time.perf_counter() - start
-        proofs, quarantined = split_results(results)
-        assert not quarantined, "crash storms must not quarantine"
-        assert verify_all(
-            verifier, [p for _, p in proofs], task_list
-        )
-        rstats = backend.last_resilience_stats
-        rows.append({
-            "rate": rate,
-            "seconds": seconds,
-            "throughput": len(proofs) / seconds,
-            "faults": rstats.total_faults_injected,
-            "failovers": rstats.failovers,
-            "rounds": rstats.rounds,
-        })
-    return rows
-
-
-def run_wrapper_overhead(tasks: int = TASKS) -> dict:
-    """Fault-free resilient wrapper vs its bare sharded core."""
-    spec, task_list = _setup(tasks=tasks)
-    timings = {}
-    for selector in (
-        "sharded:serial,serial",
-        "resilient:sharded:serial,serial",
-    ):
-        backend = resolve_backend(selector)
-        start = time.perf_counter()
-        backend.prove_tasks(spec, task_list)
-        timings[selector] = time.perf_counter() - start
-    bare = timings["sharded:serial,serial"]
-    wrapped = timings["resilient:sharded:serial,serial"]
-    return {
-        "bare_seconds": bare,
-        "wrapped_seconds": wrapped,
-        "overhead_pct": (wrapped / bare - 1.0) * 100.0,
-    }
-
-
-def run_journal_tax(tasks: int = TASKS) -> dict:
-    """Journaling cost per proof, and the resume saving at 100% overlap."""
-    spec, task_list = _setup(tasks=tasks)
-    backend = resolve_backend("serial")
-
-    start = time.perf_counter()
-    backend.prove_tasks(spec, task_list)
-    plain = time.perf_counter() - start
-
-    with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "bench.jsonl")
-        start = time.perf_counter()
-        journaled_prove(backend, spec, task_list, path)
-        journaled = time.perf_counter() - start
-
-        start = time.perf_counter()
-        _, _, report = journaled_prove(
-            backend, spec, task_list, path, resume=True
-        )
-        resumed = time.perf_counter() - start
-        assert report.skipped == len(task_list)
-
-    return {
-        "plain_seconds": plain,
-        "journaled_seconds": journaled,
-        "tax_pct": (journaled / plain - 1.0) * 100.0,
-        "resume_seconds": resumed,
-        "resume_speedup": plain / resumed if resumed > 0 else float("inf"),
-    }
 
 
 if __name__ == "__main__":

@@ -1,38 +1,30 @@
 """Streaming service sweep: arrival rate × batch window.
 
+Thin CLI shim (S29): the measurement cores live in
+:mod:`repro.experiments.benches` (``service_setup``,
+``run_service_cell``, ``run_service_sweep``) and are registered as the
+``bench_service`` experiment — ``python -m repro experiment run
+bench_service`` is the canonical entry point (artifact dir + ledger).
+The pytest entry points below stay here so ``pytest benchmarks/``
+keeps exercising the service exactly as before.
+
 Not a paper table, but the paper's thesis made operational: batch
 proving only pays if the front-end can *form* batches from an online
-stream.  This benchmark replays synthetic Poisson traffic through
+stream.  The sweep replays synthetic Poisson traffic through
 :class:`repro.service.ProofService` across a grid of arrival rates and
 batching windows and reports, per cell, the achieved throughput, mean
-batch size, cache absorption, and p95 end-to-end latency — the
-throughput/latency tradeoff the ``max_wait_seconds`` knob buys.
-
-Expected shape: longer windows form larger (more efficient) batches and
-raise throughput under load, at the cost of added queueing latency at
-low rates; the cache line shows duplicate traffic served below proving
-cost.
+batch size, cache absorption, and p95 end-to-end latency.
 
 Run directly for a report:  PYTHONPATH=src python benchmarks/bench_service.py
 Quick mode (CI smoke):      PYTHONPATH=src python benchmarks/bench_service.py --quick
 """
 
 import sys
-import time
 
-import pytest
-
-from repro.core import ProofTask, SnarkProver, make_pcs, random_circuit
-from repro.field import DEFAULT_FIELD
-from repro.runtime import ProverSpec
-from repro.service import (
-    BatchPolicy,
-    ProofService,
-    RuntimeProofBackend,
-    poisson_trace,
-    replay,
-    spec_key,
-    task_witness_key,
+from repro.experiments.benches import (
+    run_service_cell,
+    run_service_sweep,
+    service_setup,
 )
 
 GATES = 96
@@ -45,74 +37,23 @@ QUICK_REQUESTS = 16
 QUICK_RATES = (400.0,)
 QUICK_WINDOWS = (0.002, 0.02)
 
-
-def _setup(gates: int = GATES):
-    cc = random_circuit(DEFAULT_FIELD, gates, seed=9)
-    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
-    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
-    spec = ProverSpec.from_prover(prover)
-    return cc, spec, spec_key(spec)
+# Back-compat aliases for the pre-S29 module-level names.
+_setup = service_setup
 
 
-def run_cell(
-    cc,
-    spec,
-    key,
-    *,
-    rate: float,
-    window: float,
-    requests: int = REQUESTS,
-    verify_sample: int = 4,
-) -> dict:
+def run_cell(cc, spec, key, *, rate, window, requests=REQUESTS,
+             verify_sample=4):
     """One (arrival rate, batch window) cell of the sweep."""
-    backend = RuntimeProofBackend({key: spec})
-    policy = BatchPolicy(max_batch_size=MAX_BATCH, max_wait_seconds=window)
-    events = poisson_trace(
-        requests, rate, seed=int(rate) ^ 17, duplicate_fraction=0.15
+    return run_service_cell(
+        cc, spec, key, rate=rate, window=window, requests=requests,
+        max_batch=MAX_BATCH, verify_sample=verify_sample,
     )
 
-    def make_request(i):
-        task = ProofTask(i, cc.witness, cc.public_values)
-        return task, key, task_witness_key(task) + i.to_bytes(4, "little")
 
-    service = ProofService(backend, policy=policy, max_queue=4 * requests)
-    start = time.perf_counter()
-    tickets, rejected = replay(service, events, make_request)
-    service.drain(timeout=600)
-    wall = time.perf_counter() - start
-    service.close()
-
-    accepted = [t for t in tickets if t is not None]
-    proofs = [t.result(timeout=60) for t in accepted]
-    verifier = backend.verifier_for(key)
-    verified = all(
-        verifier.verify(p, cc.public_values) for p in proofs[:verify_sample]
-    )
-    stats = service.stats
-    return {
-        "rate": rate,
-        "window_ms": window * 1e3,
-        "completed": stats.completed,
-        "throughput": stats.completed / wall if wall > 0 else 0.0,
-        "mean_batch": stats.mean_batch_size,
-        "batches": len(stats.batch_sizes),
-        "cache_absorbed": stats.cache_hits + stats.coalesced,
-        "p95_ms": stats.p95_latency_seconds * 1e3,
-        "deadline_misses": stats.deadline_misses,
-        "rejected": rejected,
-        "verified": verified,
-    }
-
-
-def run_sweep(
-    rates=RATES, windows=WINDOWS, requests: int = REQUESTS
-) -> list:
-    cc, spec, key = _setup()
-    return [
-        run_cell(cc, spec, key, rate=rate, window=window, requests=requests)
-        for rate in rates
-        for window in windows
-    ]
+def run_sweep(rates=RATES, windows=WINDOWS, requests: int = REQUESTS) -> list:
+    return run_service_sweep(
+        rates=rates, windows=windows, requests=requests, gates=GATES
+    )["cells"]
 
 
 def _format(rows) -> str:

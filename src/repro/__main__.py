@@ -27,6 +27,15 @@ Cluster (S28)::
     python -m repro prove --backend cluster:remote:127.0.0.1:9100,remote:127.0.0.1:9101
     python -m repro autoscale --rates 2,8,8,1 --per-proof-ms 250 --max-nodes 4
     python -m repro autoscale --rates 2,8 --spawn serial   # actuate real nodes
+
+Unified experiment runner (S29)::
+
+    python -m repro experiment list                       # the catalog
+    python -m repro experiment run --suite ci --quick     # CI smoke suite
+    python -m repro experiment run bench_hotpath          # one experiment
+    python -m repro experiment reproduce-all --quick      # everything + EXPERIMENTS.md
+    python -m repro experiment compare                    # vs previous run
+    python -m repro experiment history bench_hotpath speedup
 """
 
 from __future__ import annotations
@@ -403,6 +412,15 @@ def _run_autoscale(args) -> int:
 
 
 def main(argv=None) -> int:
+    # `experiment` delegates to the S29 runner CLI before the paper-table
+    # argparse below: the subcommand has its own flag grammar (suites,
+    # guard/param overrides) that must not collide with the global flags.
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "experiment":
+        from .experiments.cli import main as experiment_main
+
+        return experiment_main(raw[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the BatchZK paper's evaluation artifacts.",

@@ -33,6 +33,7 @@ SUBPACKAGES = [
     "repro.zkml",
     "repro.apps",
     "repro.bench",
+    "repro.experiments",
 ]
 
 

@@ -169,6 +169,11 @@ class NodeConnectionError(ClusterError):
     """
 
 
+class ExperimentError(ReproError):
+    """Experiment-runner failure (unknown experiment, malformed result,
+    ledger misuse)."""
+
+
 class ServiceError(ReproError):
     """Streaming proof-service failure (submission, lifecycle, tickets)."""
 

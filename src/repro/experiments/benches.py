@@ -1,0 +1,683 @@
+"""Measurement cores of the seven extension benchmarks.
+
+Moved here (S29) from the ``benchmarks/bench_*.py`` scripts, which are
+now thin CLI shims over these functions via the experiment registry.
+Each function takes explicit parameters (no globals, no argv) and
+returns a JSON-serializable payload; the registered
+:class:`~repro.experiments.spec.ExperimentSpec`s in
+:mod:`repro.experiments.catalog` wrap them with quick/full
+parameterizations and declarative guards.
+
+Import cost note: everything below imports lazily-importable repro
+subsystems at module import time on purpose — these are the same
+imports the old bench scripts did, and the experiments package is never
+imported on the proving hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    BatchProver,
+    ProofTask,
+    SnarkProver,
+    make_pcs,
+    random_circuit,
+    serialize_proof,
+    verify_all,
+)
+from ..field import DEFAULT_FIELD
+from ..runtime import ParallelProvingRuntime, ProverSpec
+
+# -- shared circuit/task setup -------------------------------------------------
+
+
+def _setup_tasks(gates: int, tasks: int, seed: int = 7):
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=seed)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
+    task_list = [
+        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
+    ]
+    return cc, prover, spec, task_list
+
+
+# -- hot-path kernels (S26) ----------------------------------------------------
+
+
+def _time_proofs(prover, witness, public_values, reps):
+    """Best-of-``reps`` single-proof wall time plus its stage profile."""
+    from ..kernels import collect_stages
+
+    best_seconds = None
+    best_stages: Dict[str, float] = {}
+    proof = None
+    for _ in range(reps):
+        with collect_stages() as profile:
+            start = time.perf_counter()
+            proof = prover.prove(witness, public_values)
+            elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            best_stages = profile.as_dict()
+    return proof, best_seconds, best_stages
+
+
+def run_hotpath(gates: int = 4096, reps: int = 3) -> dict:
+    """Fast vs reference single-proof time on one circuit; asserts byte
+    identity of the two serialized proofs."""
+    from ..gpu import stage_cost_fractions
+    from ..kernels import default_spec_cache, use_reference_kernels
+
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=11)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
+
+    with use_reference_kernels():
+        ref_prover = spec.build_prover()
+        ref_proof, ref_seconds, ref_stages = _time_proofs(
+            ref_prover, cc.witness, cc.public_values, reps
+        )
+
+    cache = default_spec_cache()
+    misses_before = cache.misses
+    fast_prover = cache.get_prover(spec)
+    cache.get_prover(spec)  # second lookup must hit
+    fast_proof, fast_seconds, fast_stages = _time_proofs(
+        fast_prover, cc.witness, cc.public_values, reps
+    )
+
+    ref_bytes = serialize_proof(ref_proof, DEFAULT_FIELD)
+    fast_bytes = serialize_proof(fast_proof, DEFAULT_FIELD)
+    assert fast_bytes == ref_bytes, "fast path changed the proof bytes"
+    verifier = spec.build_verifier()
+    assert verifier.verify(fast_proof, cc.public_values)
+
+    return {
+        "gates": gates,
+        "reps": reps,
+        "hasher": spec.hasher_name,
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "byte_identical": True,
+        "proof_bytes": len(fast_bytes),
+        "reference_stages": ref_stages,
+        "fast_stages": fast_stages,
+        "fast_stage_fractions": stage_cost_fractions(fast_stages),
+        "spec_cache": {
+            "hits": cache.hits,
+            "misses": cache.misses - misses_before,
+        },
+    }
+
+
+# -- stage-pipelined executor (S27) --------------------------------------------
+
+
+def _measure_backend(selector: str, spec, task_list):
+    """One fresh backend run: wall seconds, throughput, wire bytes.
+
+    A fresh backend per measurement charges the pipelined warmup slice
+    (and the pool's worker startup) to every batch size — the honest
+    cold-start comparison."""
+    from ..execution import resolve_backend
+
+    backend = resolve_backend(selector)
+    start = time.perf_counter()
+    proofs, stats = backend.prove_tasks(spec, task_list)
+    seconds = time.perf_counter() - start
+    wire = [serialize_proof(p, DEFAULT_FIELD) for p in proofs]
+    return {
+        "seconds": seconds,
+        "throughput": len(task_list) / seconds,
+        "workers": stats.workers,
+    }, wire
+
+
+def run_pipeline_sweep(
+    gates: int = 384,
+    workers: int = 2,
+    batches: Sequence[int] = (4, 8, 16, 32),
+) -> dict:
+    """Batch-size sweep of serial vs pool:W vs pipelined:W.
+
+    Asserts byte parity of every backend against serial at every batch
+    size, and reports the smallest batch where the pipeline matches the
+    pool (``crossover_vs_pool``) and serial (``crossover_vs_serial``).
+    ``final_ratio_vs_pool`` — pipelined/pool throughput at the largest
+    batch — is the metric the ``min_ratio`` guard watches."""
+    rows = []
+    crossover_pool: Optional[int] = None
+    crossover_serial: Optional[int] = None
+    for batch in batches:
+        _, _, spec, task_list = _setup_tasks(gates, batch)
+        serial_row, serial_wire = _measure_backend("serial", spec, task_list)
+        pool_row, pool_wire = _measure_backend(
+            f"pool:{workers}", spec, task_list
+        )
+        pipe_row, pipe_wire = _measure_backend(
+            f"pipelined:{workers}", spec, task_list
+        )
+        assert pool_wire == serial_wire, "pool changed the proof bytes"
+        assert pipe_wire == serial_wire, "pipeline changed the proof bytes"
+        row = {
+            "batch": batch,
+            "serial": serial_row,
+            f"pool:{workers}": pool_row,
+            f"pipelined:{workers}": pipe_row,
+            "byte_identical": True,
+        }
+        rows.append(row)
+        if (
+            crossover_pool is None
+            and pipe_row["throughput"] >= pool_row["throughput"]
+        ):
+            crossover_pool = batch
+        if (
+            crossover_serial is None
+            and pipe_row["throughput"] >= serial_row["throughput"]
+        ):
+            crossover_serial = batch
+    last = rows[-1]
+    return {
+        "gates": gates,
+        "workers": workers,
+        "host_cores": os.cpu_count() or 1,
+        "rows": rows,
+        "crossover_vs_pool": crossover_pool,
+        "crossover_vs_serial": crossover_serial,
+        "final_ratio_vs_pool": (
+            last[f"pipelined:{workers}"]["throughput"]
+            / last[f"pool:{workers}"]["throughput"]
+        ),
+    }
+
+
+# -- distributed cluster (S28) -------------------------------------------------
+
+
+def _measure_fleet(n_nodes: int, spec, task_list):
+    """Throughput of a fresh ``n_nodes``-strong fleet on one batch."""
+    from ..cluster import NodePool
+    from ..execution import resolve_backend
+
+    pool = NodePool(backend="serial")
+    try:
+        pool.scale_to(n_nodes)
+        backend = resolve_backend(pool.cluster_selector())
+        # Warm the fleet's caches out-of-band: the steady state the ring
+        # routing maintains is what we are measuring, not cold setup.
+        backend.prove_tasks(spec, task_list[:n_nodes])
+        start = time.perf_counter()
+        proofs, stats = backend.prove_tasks(spec, task_list)
+        seconds = time.perf_counter() - start
+        affinity = backend.cluster_stats()["cache_affinity"]
+        backend.close()
+    finally:
+        pool.close()
+    wire = [serialize_proof(p, DEFAULT_FIELD) for p in proofs]
+    return {
+        "nodes": n_nodes,
+        "seconds": seconds,
+        "throughput_per_s": len(task_list) / seconds,
+        "workers": stats.workers,
+        "cache_affinity": affinity["hit_rate"],
+    }, wire
+
+
+def run_cluster_scaleout(
+    gates: int = 256, batches: Sequence[int] = (8, 16, 32)
+) -> dict:
+    """1-node vs 2-node fleets of real node subprocesses.
+
+    Byte parity with serial is asserted per fleet size; the
+    ``min_scaling`` guard watches ``scaling_2_over_1`` at the largest
+    batch, enforced only on multi-core hosts (precondition on
+    ``host_cores``)."""
+    from ..execution import SerialBackend
+
+    cores = os.cpu_count() or 1
+    results: List[dict] = []
+    ratio = None
+    for tasks in batches:
+        _, _, spec, task_list = _setup_tasks(gates, tasks)
+        serial_wire = [
+            serialize_proof(p, DEFAULT_FIELD)
+            for p in SerialBackend().prove_tasks(spec, task_list)[0]
+        ]
+        row = {"batch": tasks, "fleets": []}
+        for n_nodes in (1, 2):
+            fleet, wire = _measure_fleet(n_nodes, spec, task_list)
+            assert wire == serial_wire, (
+                f"{n_nodes}-node fleet diverged from serial bytes"
+            )
+            row["fleets"].append(fleet)
+        ratio = (
+            row["fleets"][1]["throughput_per_s"]
+            / row["fleets"][0]["throughput_per_s"]
+        )
+        row["scaling_2_over_1"] = ratio
+        results.append(row)
+    return {
+        "gates": gates,
+        "host_cores": cores,
+        "byte_identical_to_serial": True,
+        "rows": results,
+        "scaling_2_over_1": ratio,
+        "final_cache_affinity": results[-1]["fleets"][1]["cache_affinity"],
+    }
+
+
+# -- resilience plane (S25) ----------------------------------------------------
+
+
+def run_degradation_curve(
+    tasks: int = 32,
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    gates: int = 256,
+) -> list:
+    """Throughput vs crash rate; every proof must still verify."""
+    from ..execution import resolve_backend
+    from ..resilience import FaultInjector, apply_fault_plan, split_results
+
+    _, _, spec, task_list = _setup_tasks(gates, tasks)
+    verifier = spec.build_verifier()
+    rows = []
+    for rate in rates:
+        backend = resolve_backend("resilient:sharded:serial,serial")
+        injector = FaultInjector.from_plan(f"crash:{rate},seed=7")
+        apply_fault_plan(backend, injector, min_retries=4)
+        start = time.perf_counter()
+        results, stats = backend.prove_tasks(spec, task_list)
+        seconds = time.perf_counter() - start
+        proofs, quarantined = split_results(results)
+        assert not quarantined, "crash storms must not quarantine"
+        assert verify_all(verifier, [p for _, p in proofs], task_list)
+        rstats = backend.last_resilience_stats
+        rows.append({
+            "rate": rate,
+            "seconds": seconds,
+            "throughput": len(proofs) / seconds,
+            "faults": rstats.total_faults_injected,
+            "failovers": rstats.failovers,
+            "rounds": rstats.rounds,
+        })
+    return rows
+
+
+def run_wrapper_overhead(tasks: int = 32, gates: int = 256) -> dict:
+    """Fault-free resilient wrapper vs its bare sharded core."""
+    from ..execution import resolve_backend
+
+    _, _, spec, task_list = _setup_tasks(gates, tasks)
+    timings = {}
+    for selector in (
+        "sharded:serial,serial",
+        "resilient:sharded:serial,serial",
+    ):
+        backend = resolve_backend(selector)
+        start = time.perf_counter()
+        backend.prove_tasks(spec, task_list)
+        timings[selector] = time.perf_counter() - start
+    bare = timings["sharded:serial,serial"]
+    wrapped = timings["resilient:sharded:serial,serial"]
+    return {
+        "bare_seconds": bare,
+        "wrapped_seconds": wrapped,
+        "overhead_pct": (wrapped / bare - 1.0) * 100.0,
+    }
+
+
+def run_journal_tax(tasks: int = 32, gates: int = 256) -> dict:
+    """Journaling cost per proof, and the resume saving at 100% overlap."""
+    from ..execution import resolve_backend
+    from ..resilience import journaled_prove
+
+    _, _, spec, task_list = _setup_tasks(gates, tasks)
+    backend = resolve_backend("serial")
+
+    start = time.perf_counter()
+    backend.prove_tasks(spec, task_list)
+    plain = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.jsonl")
+        start = time.perf_counter()
+        journaled_prove(backend, spec, task_list, path)
+        journaled = time.perf_counter() - start
+
+        start = time.perf_counter()
+        _, _, report = journaled_prove(
+            backend, spec, task_list, path, resume=True
+        )
+        resumed = time.perf_counter() - start
+        assert report.skipped == len(task_list)
+
+    return {
+        "plain_seconds": plain,
+        "journaled_seconds": journaled,
+        "tax_pct": (journaled / plain - 1.0) * 100.0,
+        "resume_seconds": resumed,
+        "resume_speedup": plain / resumed if resumed > 0 else float("inf"),
+    }
+
+
+def run_resilience_suite(
+    tasks: int = 32,
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    gates: int = 256,
+) -> dict:
+    """The three resilience measurements as one payload."""
+    curve = run_degradation_curve(tasks=tasks, rates=rates, gates=gates)
+    wrapper = run_wrapper_overhead(tasks=tasks, gates=gates)
+    journal = run_journal_tax(tasks=tasks, gates=gates)
+    return {
+        "tasks": tasks,
+        "gates": gates,
+        "degradation": curve,
+        "wrapper": wrapper,
+        "journal": journal,
+        "fault_free_throughput": curve[0]["throughput"],
+        "max_rate_throughput": curve[-1]["throughput"],
+        "wrapper_overhead_pct": wrapper["overhead_pct"],
+        "journal_tax_pct": journal["tax_pct"],
+        "resume_speedup": journal["resume_speedup"],
+    }
+
+
+# -- streaming service (S23) ---------------------------------------------------
+
+
+def service_setup(gates: int = 96):
+    from ..service import spec_key
+
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=9)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    spec = ProverSpec.from_prover(prover)
+    return cc, spec, spec_key(spec)
+
+
+def run_service_cell(
+    cc,
+    spec,
+    key,
+    *,
+    rate: float,
+    window: float,
+    requests: int = 64,
+    max_batch: int = 16,
+    verify_sample: int = 4,
+) -> dict:
+    """One (arrival rate, batch window) cell of the service sweep."""
+    from ..service import (
+        BatchPolicy,
+        ProofService,
+        RuntimeProofBackend,
+        poisson_trace,
+        replay,
+        task_witness_key,
+    )
+
+    backend = RuntimeProofBackend({key: spec})
+    policy = BatchPolicy(max_batch_size=max_batch, max_wait_seconds=window)
+    events = poisson_trace(
+        requests, rate, seed=int(rate) ^ 17, duplicate_fraction=0.15
+    )
+
+    def make_request(i):
+        task = ProofTask(i, cc.witness, cc.public_values)
+        return task, key, task_witness_key(task) + i.to_bytes(4, "little")
+
+    service = ProofService(backend, policy=policy, max_queue=4 * requests)
+    start = time.perf_counter()
+    tickets, rejected = replay(service, events, make_request)
+    service.drain(timeout=600)
+    wall = time.perf_counter() - start
+    service.close()
+
+    accepted = [t for t in tickets if t is not None]
+    proofs = [t.result(timeout=60) for t in accepted]
+    verifier = backend.verifier_for(key)
+    verified = all(
+        verifier.verify(p, cc.public_values) for p in proofs[:verify_sample]
+    )
+    stats = service.stats
+    return {
+        "rate": rate,
+        "window_ms": window * 1e3,
+        "completed": stats.completed,
+        "throughput": stats.completed / wall if wall > 0 else 0.0,
+        "mean_batch": stats.mean_batch_size,
+        "batches": len(stats.batch_sizes),
+        "cache_absorbed": stats.cache_hits + stats.coalesced,
+        "p95_ms": stats.p95_latency_seconds * 1e3,
+        "deadline_misses": stats.deadline_misses,
+        "rejected": rejected,
+        "verified": verified,
+    }
+
+
+def run_service_sweep(
+    rates: Sequence[float] = (100.0, 400.0),
+    windows: Sequence[float] = (0.002, 0.02, 0.08),
+    requests: int = 64,
+    gates: int = 96,
+) -> dict:
+    """Arrival-rate × batch-window grid through the streaming service."""
+    cc, spec, key = service_setup(gates)
+    cells = [
+        run_service_cell(
+            cc, spec, key, rate=rate, window=window, requests=requests
+        )
+        for rate in rates
+        for window in windows
+    ]
+    return {
+        "gates": gates,
+        "requests": requests,
+        "cells": cells,
+        "all_verified": all(c["verified"] for c in cells),
+        "peak_throughput": max(c["throughput"] for c in cells),
+        "max_mean_batch": max(c["mean_batch"] for c in cells),
+    }
+
+
+# -- execution backends (S24) --------------------------------------------------
+
+
+def run_seam_overhead(tasks: int = 48, gates: int = 384) -> dict:
+    """Inline prover.prove loop vs the same loop behind SerialBackend."""
+    from ..execution import resolve_backend
+
+    _, prover, spec, task_list = _setup_tasks(gates, tasks)
+
+    inline_start = time.perf_counter()
+    inline_proofs = [
+        prover.prove(t.witness, t.public_values) for t in task_list
+    ]
+    inline_seconds = time.perf_counter() - inline_start
+
+    backend = resolve_backend("serial")
+    backend.adopt_prover(spec, prover)
+    seam_start = time.perf_counter()
+    seam_proofs, stats = backend.prove_tasks(spec, task_list)
+    seam_seconds = time.perf_counter() - seam_start
+
+    assert len(seam_proofs) == len(inline_proofs)
+    assert verify_all(spec.build_verifier(), seam_proofs, task_list)
+    return {
+        "tasks": tasks,
+        "inline_seconds": inline_seconds,
+        "seam_seconds": seam_seconds,
+        "overhead_pct": (seam_seconds / inline_seconds - 1.0) * 100.0,
+        "throughput": stats.throughput_per_second,
+    }
+
+
+def run_composition(
+    tasks: int = 48, workers: int = 2, gates: int = 384
+) -> dict:
+    """One pool vs two concurrent pools behind the sharded backend."""
+    from ..execution import resolve_backend
+
+    _, _, spec, task_list = _setup_tasks(gates, tasks)
+    rows = {}
+    for selector in (
+        f"pool:{workers}",
+        f"sharded:pool:{workers},pool:{workers}",
+    ):
+        backend = resolve_backend(selector)
+        start = time.perf_counter()
+        proofs, stats = backend.prove_tasks(spec, task_list)
+        seconds = time.perf_counter() - start
+        assert verify_all(spec.build_verifier(), proofs, task_list)
+        rows[selector] = {
+            "seconds": seconds,
+            "throughput": stats.throughput_per_second,
+            "workers": stats.workers,
+        }
+    return rows
+
+
+def run_backend_suite(
+    tasks: int = 48, workers: Optional[int] = None, gates: int = 384
+) -> dict:
+    """Seam overhead plus sharded composition as one payload."""
+    cores = os.cpu_count() or 1
+    workers = min(4 if workers is None else max(1, workers), cores)
+    seam = run_seam_overhead(tasks=tasks, gates=gates)
+    composition = run_composition(tasks=tasks, workers=workers, gates=gates)
+    pool_key = f"pool:{workers}"
+    sharded_key = f"sharded:pool:{workers},pool:{workers}"
+    return {
+        "tasks": tasks,
+        "workers": workers,
+        "host_cores": cores,
+        "seam": seam,
+        "composition": composition,
+        "seam_overhead_pct": seam["overhead_pct"],
+        "pool_throughput": composition[pool_key]["throughput"],
+        "sharded_throughput": composition[sharded_key]["throughput"],
+    }
+
+
+# -- parallel runtime (S22) ----------------------------------------------------
+
+
+def _runtime_setup(gates: int, tasks: int) -> Tuple[SnarkProver, list]:
+    cc = random_circuit(DEFAULT_FIELD, gates, seed=5)
+    pcs = make_pcs(DEFAULT_FIELD, cc.r1cs, num_col_checks=6)
+    prover = SnarkProver(cc.r1cs, pcs, public_indices=cc.public_indices)
+    task_list = [
+        ProofTask(i, cc.witness, cc.public_values) for i in range(tasks)
+    ]
+    return prover, task_list
+
+
+def crash_first_attempts(task_id: int, attempt: int) -> None:
+    """Injected fault: tasks 3 and 17 die on their first attempt."""
+    if task_id in (3, 17) and attempt == 1:
+        raise RuntimeError(f"injected worker crash on task {task_id}")
+
+
+def run_scaling(
+    tasks: int = 48, workers: int = 4, gates: int = 384
+) -> dict:
+    """Serial vs pooled throughput on the same batch."""
+    prover, task_list = _runtime_setup(gates, tasks)
+    spec = ProverSpec.from_prover(prover)
+
+    serial_start = time.perf_counter()
+    serial_proofs, serial_stats = BatchProver(prover).prove_all(task_list)
+    serial_seconds = time.perf_counter() - serial_start
+
+    runtime = ParallelProvingRuntime(spec, workers=workers, chunk_size=2)
+    parallel_start = time.perf_counter()
+    parallel_proofs, parallel_stats = runtime.prove_tasks(task_list)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    verifier = spec.build_verifier()
+    assert verify_all(verifier, serial_proofs, task_list)
+    assert verify_all(verifier, parallel_proofs, task_list)
+    return {
+        "tasks": tasks,
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "serial_throughput": serial_stats.throughput_per_second,
+        "parallel_seconds": parallel_seconds,
+        "parallel_throughput": parallel_stats.throughput_per_second,
+        "speedup": serial_seconds / parallel_seconds,
+        "utilization": parallel_stats.worker_utilization,
+        "p95_latency_ms": parallel_stats.p95_latency_seconds * 1e3,
+    }
+
+
+def run_crash_recovery(
+    tasks: int = 48, workers: int = 4, gates: int = 384
+) -> dict:
+    """A crashing worker mid-batch must not cost any proofs."""
+    prover, task_list = _runtime_setup(gates, tasks)
+    spec = ProverSpec.from_prover(prover)
+    runtime = ParallelProvingRuntime(
+        spec, workers=workers, fault_injector=crash_first_attempts
+    )
+    proofs, stats = runtime.prove_tasks(task_list)
+    complete = len(proofs) == len(task_list)
+    verified = verify_all(spec.build_verifier(), proofs, task_list)
+    return {
+        "complete": complete,
+        "verified": verified,
+        "retries": stats.retries,
+        "throughput": stats.throughput_per_second,
+    }
+
+
+def run_runtime_suite(
+    tasks: int = 48, workers: Optional[int] = None, gates: int = 384
+) -> dict:
+    """Scaling and crash-recovery measurements as one payload."""
+    cores = os.cpu_count() or 1
+    workers = min(4 if workers is None else max(1, workers), cores)
+    scaling = run_scaling(tasks=tasks, workers=workers, gates=gates)
+    recovery = run_crash_recovery(tasks=tasks, workers=workers, gates=gates)
+    return {
+        "tasks": tasks,
+        "workers": workers,
+        "host_cores": cores,
+        "scaling": scaling,
+        "recovery": recovery,
+        "speedup": scaling["speedup"],
+        "utilization": scaling["utilization"],
+        "recovery_ok": 1.0
+        if (recovery["complete"] and recovery["verified"])
+        else 0.0,
+    }
+
+
+__all__ = [
+    "run_hotpath",
+    "run_pipeline_sweep",
+    "run_cluster_scaleout",
+    "run_degradation_curve",
+    "run_wrapper_overhead",
+    "run_journal_tax",
+    "run_resilience_suite",
+    "service_setup",
+    "run_service_cell",
+    "run_service_sweep",
+    "run_seam_overhead",
+    "run_composition",
+    "run_backend_suite",
+    "run_scaling",
+    "run_crash_recovery",
+    "run_runtime_suite",
+    "crash_first_attempts",
+]

@@ -1,0 +1,345 @@
+"""The built-in experiment catalog: every paper artifact + extension bench.
+
+Importing this module (which ``repro.experiments`` does) registers:
+
+* the eleven paper artifacts — Tables 3–11, Figure 9, and the §6.3
+  speedup breakdown — as thin wrappers over ``repro.bench.tables``
+  (tagged ``paper``/``paper-table``; quick == full since each computes
+  in well under a second), and
+* the seven extension benches (S22–S28), whose measurement cores live
+  in :mod:`repro.experiments.benches` (tagged ``extension``/``ci``;
+  quick params are the old ``--quick`` CI-smoke sizes).
+
+Guard defaults reproduce the legacy per-script flags exactly:
+``--min-speedup`` 1.2 (hotpath), ``--min-ratio`` 1.0 (pipeline),
+``--min-scaling`` 1.6 (cluster, enforced only on multi-core hosts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from ..bench import tables
+from . import benches
+from .spec import ExperimentSpec, Guard
+from .registry import register_experiment
+
+# -- paper artifacts -----------------------------------------------------------
+
+
+def _rows_payload(rows) -> Dict[str, Any]:
+    return {"rows": [{"label": r.label, "values": r.values} for r in rows]}
+
+
+def _row_values(payload: Mapping[str, Any], label: str) -> Dict[str, Any]:
+    for row in payload["rows"]:
+        if row["label"] == label:
+            return row["values"]
+    return payload["rows"][-1]["values"]
+
+
+def _module_table_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    top = payload["rows"][-1]["values"]
+    return {
+        "top_speedup_vs_cpu": top["speedup_vs_cpu"],
+        "top_speedup_vs_gpu": top["speedup_vs_gpu"],
+    }
+
+
+def _table6_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    ratios = [r["values"]["ratio"] for r in payload["rows"]]
+    return {"max_latency_ratio": max(ratios), "min_latency_ratio": min(ratios)}
+
+
+def _fig9_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for module, trace in payload["modules"].items():
+        out[f"{module}_ours_mean_util"] = trace["ours_mean"]
+        out[f"{module}_baseline_mean_util"] = trace["baseline_mean"]
+    return out
+
+
+def _table7_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    top = payload["rows"][-1]["values"]
+    return {
+        "top_speedup_vs_bellperson": top["speedup_vs_bellperson"],
+        "top_speedup_vs_orion_ark": top["speedup_vs_orion_ark"],
+    }
+
+
+def _table8_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        "v100_throughput_speedup": _row_values(payload, "V100")[
+            "throughput_speedup"
+        ],
+    }
+
+
+def _table9_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    overlaps = [
+        r["values"]["overall_ms"] / max(r["values"]["comp_ms"], 1e-12)
+        for r in payload["rows"]
+    ]
+    return {"max_overall_over_comp": max(overlaps)}
+
+
+def _table10_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        "min_memory_reduction": min(
+            r["values"]["reduction"] for r in payload["rows"]
+        ),
+    }
+
+
+def _table11_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    ours = _row_values(payload, "Ours")
+    return {
+        "ours_throughput_per_s": ours["throughput"],
+        "ours_latency_s": ours["latency_s"],
+        "amortized_ms": 1e3 / ours["throughput"],
+    }
+
+
+def _table_runner(compute):
+    return lambda params: _rows_payload(compute(**params))
+
+
+_PAPER_TAGS = ("paper", "paper-table", "ci")
+
+_PAPER_SPECS = [
+    ExperimentSpec(
+        name="table3",
+        description="Table 3: Merkle tree throughput (trees/ms, GH200)",
+        runner=_table_runner(tables.compute_table3),
+        tags=_PAPER_TAGS,
+        metrics_from=_module_table_metrics,
+    ),
+    ExperimentSpec(
+        name="table4",
+        description="Table 4: sum-check throughput (proofs/ms, GH200)",
+        runner=_table_runner(tables.compute_table4),
+        tags=_PAPER_TAGS,
+        metrics_from=_module_table_metrics,
+    ),
+    ExperimentSpec(
+        name="table5",
+        description="Table 5: linear-time encoder throughput (codes/ms)",
+        runner=_table_runner(tables.compute_table5),
+        tags=_PAPER_TAGS,
+        metrics_from=_module_table_metrics,
+    ),
+    ExperimentSpec(
+        name="table6",
+        description="Table 6: module latency — pipelining's honest cost",
+        runner=_table_runner(tables.compute_table6),
+        tags=_PAPER_TAGS,
+        metrics_from=_table6_metrics,
+    ),
+    ExperimentSpec(
+        name="fig9",
+        description="Figure 9: GPU core utilization traces (3090Ti)",
+        runner=lambda params: {"modules": tables.compute_fig9(**params)},
+        tags=_PAPER_TAGS,
+        metrics_from=_fig9_metrics,
+    ),
+    ExperimentSpec(
+        name="table7",
+        description="Table 7: amortized per-proof time across systems",
+        runner=_table_runner(tables.compute_table7),
+        tags=_PAPER_TAGS,
+        metrics_from=_table7_metrics,
+    ),
+    ExperimentSpec(
+        name="breakdown",
+        description="§6.3 speedup decomposition (protocol × pipeline)",
+        runner=lambda params: dict(tables.compute_breakdown(**params)),
+        tags=_PAPER_TAGS,
+    ),
+    ExperimentSpec(
+        name="table8",
+        description="Table 8: latency/throughput across GPUs @ S=2^20",
+        runner=_table_runner(tables.compute_table8),
+        tags=_PAPER_TAGS,
+        metrics_from=_table8_metrics,
+    ),
+    ExperimentSpec(
+        name="table9",
+        description="Table 9: communication/computation overlap per beat",
+        runner=_table_runner(tables.compute_table9),
+        tags=_PAPER_TAGS,
+        metrics_from=_table9_metrics,
+    ),
+    ExperimentSpec(
+        name="table10",
+        description="Table 10: device memory per in-flight proof",
+        runner=_table_runner(tables.compute_table10),
+        tags=_PAPER_TAGS,
+        metrics_from=_table10_metrics,
+    ),
+    ExperimentSpec(
+        name="table11",
+        description="Table 11: verifiable ML (VGG-16/CIFAR-10)",
+        runner=_table_runner(tables.compute_table11),
+        tags=_PAPER_TAGS,
+        metrics_from=_table11_metrics,
+    ),
+]
+
+# -- extension benches ---------------------------------------------------------
+
+
+def _service_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        "peak_throughput": payload["peak_throughput"],
+        "max_mean_batch": payload["max_mean_batch"],
+        "verified_ok": 1.0 if payload["all_verified"] else 0.0,
+    }
+
+
+def _resilience_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        "fault_free_throughput": payload["fault_free_throughput"],
+        "max_rate_throughput": payload["max_rate_throughput"],
+        "wrapper_overhead_pct": payload["wrapper_overhead_pct"],
+        "journal_tax_pct": payload["journal_tax_pct"],
+        "resume_speedup": payload["resume_speedup"],
+    }
+
+
+_EXTENSION_SPECS = [
+    ExperimentSpec(
+        name="bench_hotpath",
+        description="S26 kernels: fast vs reference single-proof speedup",
+        runner=lambda params: benches.run_hotpath(**params),
+        tags=("extension", "ci"),
+        guards=(
+            Guard(
+                name="min_speedup",
+                metric="speedup",
+                op=">=",
+                threshold=1.2,
+                description="fast kernels must beat reference by ≥1.2x "
+                "(legacy --min-speedup)",
+            ),
+        ),
+        full_params={"gates": 4096, "reps": 3},
+        quick_params={"gates": 1024, "reps": 2},
+    ),
+    ExperimentSpec(
+        name="bench_pipeline",
+        description="S27 stage-pipelined executor vs pool vs serial sweep",
+        runner=lambda params: benches.run_pipeline_sweep(**params),
+        tags=("extension", "ci"),
+        guards=(
+            Guard(
+                name="min_ratio",
+                metric="final_ratio_vs_pool",
+                op=">=",
+                threshold=1.0,
+                description="pipelined must match the pool at the largest "
+                "batch (legacy --min-ratio)",
+            ),
+        ),
+        full_params={"gates": 384, "workers": 2, "batches": (4, 8, 16, 32)},
+        quick_params={"gates": 128, "batches": (4, 8)},
+    ),
+    ExperimentSpec(
+        name="bench_cluster",
+        description="S28 cluster: 1-node vs 2-node fleet scale-out",
+        runner=lambda params: benches.run_cluster_scaleout(**params),
+        tags=("extension", "ci"),
+        guards=(
+            Guard(
+                name="min_scaling",
+                metric="scaling_2_over_1",
+                op=">=",
+                threshold=1.6,
+                description="2-node fleet must reach ≥1.6x of 1-node "
+                "(legacy --min-scaling; multi-core hosts only)",
+                precondition=("host_cores", ">=", 2),
+            ),
+        ),
+        full_params={"gates": 256, "batches": (8, 16, 32)},
+        quick_params={"gates": 96, "batches": (16,)},
+    ),
+    ExperimentSpec(
+        name="bench_resilience",
+        description="S25 resilience: crash-rate degradation, wrapper "
+        "overhead, journal tax",
+        runner=lambda params: benches.run_resilience_suite(**params),
+        tags=("extension", "ci", "chaos"),
+        full_params={
+            "tasks": 32,
+            "rates": (0.0, 0.05, 0.1, 0.2, 0.4),
+            "gates": 256,
+        },
+        quick_params={"tasks": 8, "rates": (0.0, 0.1, 0.3)},
+        metrics_from=_resilience_metrics,
+    ),
+    ExperimentSpec(
+        name="bench_service",
+        description="S23 streaming service: arrival-rate × batch-window grid",
+        runner=lambda params: benches.run_service_sweep(**params),
+        tags=("extension", "ci"),
+        guards=(
+            Guard(
+                name="verified",
+                metric="verified_ok",
+                op=">=",
+                threshold=1.0,
+                description="every sampled service proof must verify",
+            ),
+        ),
+        full_params={
+            "rates": (100.0, 400.0),
+            "windows": (0.002, 0.02, 0.08),
+            "requests": 64,
+            "gates": 96,
+        },
+        quick_params={
+            "rates": (400.0,),
+            "windows": (0.002, 0.02),
+            "requests": 16,
+        },
+        metrics_from=_service_metrics,
+    ),
+    ExperimentSpec(
+        name="bench_backends",
+        description="S24 backend seam overhead + sharded composition",
+        runner=lambda params: benches.run_backend_suite(**params),
+        tags=("extension", "ci"),
+        full_params={"tasks": 48, "workers": None, "gates": 384},
+        quick_params={"tasks": 8, "workers": 2},
+    ),
+    ExperimentSpec(
+        name="bench_parallel_runtime",
+        description="S22 process-pool runtime: scaling + crash recovery",
+        runner=lambda params: benches.run_runtime_suite(**params),
+        tags=("extension", "ci"),
+        guards=(
+            Guard(
+                name="recovery",
+                metric="recovery_ok",
+                op=">=",
+                threshold=1.0,
+                description="a mid-batch worker crash must not lose proofs",
+            ),
+        ),
+        full_params={"tasks": 48, "workers": None, "gates": 384},
+        quick_params={"tasks": 8, "workers": 2},
+    ),
+]
+
+
+def register_catalog(*, replace: bool = False) -> List[str]:
+    """Register every built-in spec; returns the registered names."""
+    names = []
+    for spec in _PAPER_SPECS + _EXTENSION_SPECS:
+        register_experiment(spec, replace=replace)
+        names.append(spec.name)
+    return names
+
+
+register_catalog(replace=True)
+
+__all__ = ["register_catalog"]

@@ -1,0 +1,338 @@
+"""``python -m repro experiment …`` — the unified experiment runner CLI.
+
+Subcommands::
+
+    list            show the registered catalog (names, tags, guards)
+    run             execute experiments into artifacts/<run-id>/
+    reproduce-all   run everything and regenerate EXPERIMENTS.md
+    compare         metric deltas between two ledger runs
+    history         one metric's cross-run trajectory
+
+Exit codes (``run``/``reproduce-all``): 0 all ok · 1 an experiment
+errored (or a CLI/usage error) · 2 a regression guard failed.
+``compare`` exits 2 when a directional metric regressed beyond
+tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from .ledger import Ledger
+from .paths import default_ledger_path
+from .registry import KNOWN_SUITES, select_experiments
+from .report import PAPER_EXPERIMENTS, render_experiments_md
+from .runner import RunSession
+
+
+def _parse_kv(pairs: Sequence[str], *, what: str) -> Dict[str, Any]:
+    """Parse repeated ``KEY=VALUE`` flags; values decode as JSON when
+    possible (so ``--param batches=[4,8]`` works), else stay strings."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ExperimentError(
+                f"malformed {what} {pair!r}: expected KEY=VALUE"
+            )
+        key, raw = pair.split("=", 1)
+        try:
+            out[key.strip()] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key.strip()] = raw
+    return out
+
+
+def _parse_guards(pairs: Sequence[str]) -> Dict[str, float]:
+    parsed = _parse_kv(pairs, what="guard override")
+    out: Dict[str, float] = {}
+    for name, value in parsed.items():
+        try:
+            out[name] = float(value)
+        except (TypeError, ValueError):
+            raise ExperimentError(
+                f"guard override {name!r} needs a numeric threshold, "
+                f"got {value!r}"
+            )
+    return out
+
+
+def _ledger_from(args: argparse.Namespace) -> Ledger:
+    path = (
+        pathlib.Path(args.ledger) if args.ledger else default_ledger_path()
+    )
+    if not path.exists():
+        raise ExperimentError(
+            f"no ledger at {path}; run some experiments first "
+            "(python -m repro experiment run --quick)"
+        )
+    return Ledger(path)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro experiment",
+        description="unified experiment runner + perf-trajectory ledger",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the registered catalog")
+    p_list.add_argument("--suite", choices=KNOWN_SUITES, default=None)
+    p_list.add_argument("--tag", action="append", default=[])
+
+    for name, helptext in (
+        ("run", "execute experiments into an artifact directory"),
+        ("reproduce-all", "run everything and regenerate EXPERIMENTS.md"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        if name == "run":
+            p.add_argument("names", nargs="*", help="experiment names")
+            p.add_argument("--suite", choices=KNOWN_SUITES, default=None)
+            p.add_argument("--tag", action="append", default=[])
+        p.add_argument("--quick", action="store_true", help="CI smoke sizes")
+        p.add_argument("--label", default="", help="free-form run label")
+        p.add_argument(
+            "--out-dir",
+            default=None,
+            help="artifact root (default: <repo>/artifacts, or "
+            "$REPRO_ARTIFACTS_DIR)",
+        )
+        p.add_argument("--ledger", default=None, help="ledger sqlite path")
+        p.add_argument(
+            "--no-ledger",
+            action="store_true",
+            help="skip the cross-run ledger append",
+        )
+        p.add_argument(
+            "--guard",
+            action="append",
+            default=[],
+            metavar="NAME=VALUE",
+            help="override a guard threshold (e.g. min_speedup=1.5)",
+        )
+        p.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="override a runner parameter (JSON values accepted)",
+        )
+        if name == "reproduce-all":
+            p.add_argument(
+                "--experiments-md",
+                default=None,
+                help="where to write EXPERIMENTS.md "
+                "(default: <repo>/EXPERIMENTS.md)",
+            )
+
+    p_cmp = sub.add_parser("compare", help="metric deltas between two runs")
+    p_cmp.add_argument("--baseline", default=None, help="baseline run id")
+    p_cmp.add_argument("--latest", default=None, help="latest run id")
+    p_cmp.add_argument("--since-rev", default=None, help="baseline git rev")
+    p_cmp.add_argument("--experiment", default=None)
+    p_cmp.add_argument("--tolerance", type=float, default=0.05)
+    p_cmp.add_argument("--ledger", default=None)
+    p_cmp.add_argument(
+        "--all-metrics",
+        action="store_true",
+        help="include metrics without a guard direction",
+    )
+
+    p_hist = sub.add_parser("history", help="one metric's trajectory")
+    p_hist.add_argument("name", help="experiment name")
+    p_hist.add_argument("metric", help="metric name")
+    p_hist.add_argument("--limit", type=int, default=None)
+    p_hist.add_argument("--ledger", default=None)
+
+    return parser
+
+
+# -- subcommand bodies ---------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = select_experiments(suite=args.suite, tags=args.tag or None)
+    width = max((len(s.name) for s in specs), default=10)
+    for spec in specs:
+        guards = ", ".join(
+            f"{g.name}({g.metric} {g.op} {g.threshold:g})"
+            for g in spec.guards
+        )
+        line = (
+            f"{spec.name:<{width}}  [{', '.join(spec.tags)}]  "
+            f"{spec.description}"
+        )
+        if guards:
+            line += f"  guards: {guards}"
+        print(line)
+    print(f"\n{len(specs)} experiments; suites: {', '.join(KNOWN_SUITES)}")
+    return 0
+
+
+def _execute(
+    args: argparse.Namespace, names: Optional[List[str]], suite: Optional[str],
+    tags: Optional[List[str]],
+) -> RunSession:
+    specs = select_experiments(names=names, suite=suite, tags=tags)
+    if not specs:
+        raise ExperimentError("nothing selected to run")
+    session = RunSession(
+        quick=args.quick,
+        label=args.label,
+        artifact_root=(
+            pathlib.Path(args.out_dir) if args.out_dir else None
+        ),
+        ledger_path=pathlib.Path(args.ledger) if args.ledger else None,
+        use_ledger=not args.no_ledger,
+    )
+    params = _parse_kv(args.param, what="param override")
+    guards = _parse_guards(args.guard)
+
+    def progress(spec):
+        print(f"[{session.run_id}] running {spec.name} …", flush=True)
+
+    session.run_all(
+        specs,
+        param_overrides=params or None,
+        guard_overrides=guards or None,
+        progress=progress,
+    )
+    return session
+
+
+def _finish(session: RunSession) -> int:
+    directory = session.finalize()
+    for result in session.results:
+        marker = {"ok": "ok", "guard_failed": "GUARD FAIL", "error": "ERROR"}[
+            result.status
+        ]
+        print(f"  {result.name:<24} {marker:<10} "
+              f"{result.duration_seconds:.2f}s")
+        for verdict in result.guard_failures:
+            print(f"    guard {verdict.guard}: {verdict.detail}")
+        if result.error:
+            print(f"    {result.error}")
+    print(f"artifacts: {directory}")
+    if session.use_ledger:
+        ledger = (
+            session.ledger_path
+            if session.ledger_path is not None
+            else default_ledger_path()
+        )
+        print(f"ledger: {ledger}")
+    return session.exit_code()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    session = _execute(
+        args, names=args.names or None, suite=args.suite,
+        tags=args.tag or None,
+    )
+    return _finish(session)
+
+
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
+    session = _execute(args, names=None, suite="all", tags=None)
+    code = _finish(session)
+    by_name = {r.name: r for r in session.results}
+    ready = all(
+        name in by_name and by_name[name].ok for name in PAPER_EXPERIMENTS
+    )
+    if ready:
+        from .paths import repo_root
+
+        target = (
+            pathlib.Path(args.experiments_md)
+            if args.experiments_md
+            else repo_root() / "EXPERIMENTS.md"
+        )
+        target.write_text(render_experiments_md(by_name))
+        print(f"EXPERIMENTS.md: {target}")
+    else:
+        broken = [
+            name
+            for name in PAPER_EXPERIMENTS
+            if name not in by_name or not by_name[name].ok
+        ]
+        print(
+            "EXPERIMENTS.md not regenerated; paper artifacts failed: "
+            + ", ".join(broken),
+            file=sys.stderr,
+        )
+        code = code or 1
+    return code
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    with _ledger_from(args) as ledger:
+        baseline = args.baseline
+        if args.since_rev and baseline is None:
+            baseline = ledger.run_for_rev(args.since_rev)
+            if baseline is None:
+                raise ExperimentError(
+                    f"no recorded run at git rev {args.since_rev!r}; "
+                    f"known runs: {', '.join(ledger.run_ids()) or 'none'}"
+                )
+        deltas = ledger.compare(
+            baseline,
+            args.latest,
+            experiment=args.experiment,
+            directional_only=not args.all_metrics,
+        )
+        if not deltas:
+            print("nothing to compare (need two runs with shared metrics)")
+            return 0
+        regressed = 0
+        for delta in deltas:
+            bad = delta.is_regression(args.tolerance)
+            regressed += bad
+            print(("REGRESSION  " if bad else "            ")
+                  + delta.describe())
+        print(
+            f"\n{len(deltas)} metrics compared, {regressed} regressed "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+        return 2 if regressed else 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    with _ledger_from(args) as ledger:
+        points = ledger.history(args.name, args.metric, limit=args.limit)
+        if not points:
+            raise ExperimentError(
+                f"no ledger history for {args.name}/{args.metric}"
+            )
+        for p in points:
+            print(f"{p.run_id}  {p.git_rev:<12}  {p.value:g}")
+        first, last = points[0].value, points[-1].value
+        if first:
+            print(
+                f"\n{len(points)} runs; {first:g} → {last:g} "
+                f"({(last - first) / abs(first):+.1%})"
+            )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "reproduce-all": _cmd_reproduce_all,
+        "compare": _cmd_compare,
+        "history": _cmd_history,
+    }[args.command]
+    try:
+        return handler(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

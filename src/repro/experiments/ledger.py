@@ -1,0 +1,376 @@
+"""Cross-run SQLite perf-trajectory ledger.
+
+Every experiment run appends its metrics here, so any later PR can ask
+the SZKP-style scaling-study questions: *did throughput regress vs N
+runs ago, on which experiment, at which metric?*  Three tables:
+
+``runs``
+    one row per invocation (run id, git rev, host JSON, quick flag).
+``results``
+    one row per experiment execution (status, duration, params, guard
+    verdicts as JSON).
+``metrics``
+    one row per flat numeric metric, carrying the guard-derived
+    ``direction`` (``higher``/``lower``/NULL) that tells
+    :meth:`Ledger.regressions` which way is worse.
+
+The query API is deliberately small: :meth:`history` (one metric's
+trajectory), :meth:`compare` (two runs, metric by metric), and
+:meth:`regressions` (directional metrics that got worse since a rev).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ExperimentError
+from .spec import ExperimentResult
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    started_at  REAL NOT NULL,
+    git_rev     TEXT NOT NULL,
+    host_json   TEXT NOT NULL,
+    quick       INTEGER NOT NULL DEFAULT 0,
+    label       TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS results (
+    id          INTEGER PRIMARY KEY,
+    run_id      TEXT NOT NULL REFERENCES runs(run_id),
+    experiment  TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    duration_s  REAL NOT NULL,
+    git_rev     TEXT NOT NULL,
+    params_json TEXT NOT NULL,
+    guards_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    id          INTEGER PRIMARY KEY,
+    run_id      TEXT NOT NULL REFERENCES runs(run_id),
+    experiment  TEXT NOT NULL,
+    metric      TEXT NOT NULL,
+    value       REAL NOT NULL,
+    direction   TEXT,
+    git_rev     TEXT NOT NULL,
+    recorded_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_metrics_lookup
+    ON metrics (experiment, metric, recorded_at);
+CREATE INDEX IF NOT EXISTS idx_metrics_run ON metrics (run_id);
+"""
+
+
+@dataclass
+class MetricPoint:
+    """One observation of one metric in one run."""
+
+    run_id: str
+    experiment: str
+    metric: str
+    value: float
+    git_rev: str
+    recorded_at: float
+    direction: Optional[str] = None
+
+
+@dataclass
+class MetricDelta:
+    """A baseline→latest movement of one metric (compare/regressions)."""
+
+    experiment: str
+    metric: str
+    baseline_run: str
+    baseline_rev: str
+    baseline_value: float
+    latest_run: str
+    latest_rev: str
+    latest_value: float
+    direction: Optional[str]
+
+    @property
+    def change_fraction(self) -> float:
+        if self.baseline_value == 0:
+            return float("inf") if self.latest_value != 0 else 0.0
+        return (self.latest_value - self.baseline_value) / abs(
+            self.baseline_value
+        )
+
+    def is_regression(self, tolerance: float) -> bool:
+        """Worse than baseline by more than ``tolerance`` (directional)."""
+        if self.direction == "higher":
+            return self.change_fraction < -tolerance
+        if self.direction == "lower":
+            return self.change_fraction > tolerance
+        return False
+
+    def describe(self) -> str:
+        arrow = {"higher": "↑ better", "lower": "↓ better"}.get(
+            self.direction or "", "no direction"
+        )
+        return (
+            f"{self.experiment}/{self.metric}: "
+            f"{self.baseline_value:g} ({self.baseline_rev}) → "
+            f"{self.latest_value:g} ({self.latest_rev}) "
+            f"[{self.change_fraction:+.1%}, {arrow}]"
+        )
+
+
+class Ledger:
+    """Append-only metric history over every experiment run."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- writes ----------------------------------------------------------
+
+    def record_run(
+        self,
+        run_id: str,
+        *,
+        git_rev: str,
+        host: Optional[Dict[str, Any]] = None,
+        quick: bool = False,
+        label: str = "",
+        started_at: Optional[float] = None,
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO runs "
+            "(run_id, started_at, git_rev, host_json, quick, label) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                started_at if started_at is not None else time.time(),
+                git_rev,
+                json.dumps(host or {}, sort_keys=True),
+                int(bool(quick)),
+                label,
+            ),
+        )
+        self._conn.commit()
+
+    def record_result(
+        self,
+        run_id: str,
+        result: ExperimentResult,
+        *,
+        directions: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Append one result's row and every flat metric observation.
+
+        ``directions`` (metric → "higher"/"lower") defaults to the
+        directions implied by the result's own guard verdicts.
+        """
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise ExperimentError(
+                f"run {run_id!r} is not recorded; call record_run first"
+            )
+        if directions is None:
+            directions = {
+                v.metric: ("higher" if v.op == ">=" else "lower")
+                for v in result.guards
+            }
+        self._conn.execute(
+            "INSERT INTO results "
+            "(run_id, experiment, status, duration_s, git_rev, params_json, "
+            "guards_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                result.name,
+                result.status,
+                result.duration_seconds,
+                result.git_rev,
+                json.dumps(result.params, sort_keys=True, default=str),
+                json.dumps(
+                    [v.to_dict() for v in result.guards], sort_keys=True
+                ),
+            ),
+        )
+        now = result.started_at or time.time()
+        self._conn.executemany(
+            "INSERT INTO metrics "
+            "(run_id, experiment, metric, value, direction, git_rev, "
+            "recorded_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    run_id,
+                    result.name,
+                    metric,
+                    float(value),
+                    directions.get(metric),
+                    result.git_rev,
+                    now,
+                )
+                for metric, value in sorted(result.metrics.items())
+            ],
+        )
+        self._conn.commit()
+
+    # -- queries ---------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        """Every recorded run id, oldest first."""
+        rows = self._conn.execute(
+            "SELECT run_id FROM runs ORDER BY started_at, run_id"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def latest_run_id(self) -> Optional[str]:
+        ids = self.run_ids()
+        return ids[-1] if ids else None
+
+    def run_for_rev(self, git_rev: str) -> Optional[str]:
+        """The most recent run recorded at ``git_rev`` (prefix match)."""
+        rows = self._conn.execute(
+            "SELECT run_id FROM runs WHERE git_rev LIKE ? "
+            "ORDER BY started_at DESC, run_id DESC LIMIT 1",
+            (git_rev + "%",),
+        ).fetchone()
+        return rows[0] if rows else None
+
+    def history(
+        self, name: str, metric: str, limit: Optional[int] = None
+    ) -> List[MetricPoint]:
+        """The trajectory of one experiment metric, oldest first."""
+        sql = (
+            "SELECT run_id, experiment, metric, value, git_rev, "
+            "recorded_at, direction FROM metrics "
+            "WHERE experiment = ? AND metric = ? ORDER BY recorded_at, id"
+        )
+        rows = self._conn.execute(sql, (name, metric)).fetchall()
+        if limit is not None:
+            rows = rows[-limit:]
+        return [
+            MetricPoint(
+                run_id=r[0],
+                experiment=r[1],
+                metric=r[2],
+                value=r[3],
+                git_rev=r[4],
+                recorded_at=r[5],
+                direction=r[6],
+            )
+            for r in rows
+        ]
+
+    def metrics_for_run(self, run_id: str) -> List[MetricPoint]:
+        rows = self._conn.execute(
+            "SELECT run_id, experiment, metric, value, git_rev, "
+            "recorded_at, direction FROM metrics WHERE run_id = ? "
+            "ORDER BY experiment, metric",
+            (run_id,),
+        ).fetchall()
+        return [
+            MetricPoint(
+                run_id=r[0],
+                experiment=r[1],
+                metric=r[2],
+                value=r[3],
+                git_rev=r[4],
+                recorded_at=r[5],
+                direction=r[6],
+            )
+            for r in rows
+        ]
+
+    def compare(
+        self,
+        baseline_run: Optional[str] = None,
+        latest_run: Optional[str] = None,
+        *,
+        experiment: Optional[str] = None,
+        directional_only: bool = True,
+    ) -> List[MetricDelta]:
+        """Metric-by-metric deltas between two runs.
+
+        Defaults: ``latest_run`` = newest recorded run, ``baseline_run``
+        = the run before it.  Only metrics present in *both* runs are
+        compared; by default only directional (guard-covered) metrics
+        are returned, since undirected metrics can't regress.
+        """
+        ids = self.run_ids()
+        if latest_run is None:
+            latest_run = ids[-1] if ids else None
+        if baseline_run is None:
+            earlier = [i for i in ids if i != latest_run]
+            baseline_run = earlier[-1] if earlier else None
+        if latest_run is None or baseline_run is None:
+            return []
+        base = {
+            (p.experiment, p.metric): p
+            for p in self.metrics_for_run(baseline_run)
+        }
+        deltas: List[MetricDelta] = []
+        for point in self.metrics_for_run(latest_run):
+            if experiment is not None and point.experiment != experiment:
+                continue
+            if directional_only and point.direction not in (
+                "higher",
+                "lower",
+            ):
+                continue
+            anchor = base.get((point.experiment, point.metric))
+            if anchor is None:
+                continue
+            deltas.append(
+                MetricDelta(
+                    experiment=point.experiment,
+                    metric=point.metric,
+                    baseline_run=baseline_run,
+                    baseline_rev=anchor.git_rev,
+                    baseline_value=anchor.value,
+                    latest_run=latest_run,
+                    latest_rev=point.git_rev,
+                    latest_value=point.value,
+                    direction=point.direction,
+                )
+            )
+        return deltas
+
+    def regressions(
+        self,
+        since_rev: Optional[str] = None,
+        *,
+        tolerance: float = 0.05,
+        experiment: Optional[str] = None,
+    ) -> List[MetricDelta]:
+        """Directional metrics that got worse vs the ``since_rev`` run.
+
+        ``since_rev=None`` compares the newest run against the one
+        before it.  ``tolerance`` is the worse-than-baseline fraction a
+        metric must exceed to count (default 5%, absorbing timer noise).
+        """
+        baseline_run = None
+        if since_rev is not None:
+            baseline_run = self.run_for_rev(since_rev)
+            if baseline_run is None:
+                raise ExperimentError(
+                    f"no recorded run at git rev {since_rev!r}; "
+                    f"known runs: {', '.join(self.run_ids()) or 'none'}"
+                )
+        deltas = self.compare(baseline_run, None, experiment=experiment)
+        return [d for d in deltas if d.is_regression(tolerance)]
+
+
+__all__ = ["Ledger", "MetricPoint", "MetricDelta"]

@@ -1,0 +1,131 @@
+"""Name registry for experiments, mirroring the S24 backend registry.
+
+``register_experiment`` is the extension point; ``get_experiment``
+resolves a name with the same unknown-name ergonomics as
+:func:`repro.execution.resolve_backend` — the error lists every
+registered name and offers a difflib "did you mean" suggestion.  Suites
+are tag queries: ``--suite ci`` selects everything tagged ``ci``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from .spec import ExperimentSpec
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+#: Suite names double as tags; "all" is the universe.
+KNOWN_SUITES = ("all", "ci", "paper", "extension", "chaos")
+
+
+def register_experiment(
+    spec: ExperimentSpec, *, replace: bool = False
+) -> ExperimentSpec:
+    """Register ``spec`` under its name; duplicate names are an error."""
+    key = spec.name.strip().lower()
+    if not key:
+        raise ExperimentError("experiment name must be non-empty")
+    if key in _REGISTRY and not replace:
+        raise ExperimentError(f"experiment {key!r} is already registered")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def available_experiments() -> List[str]:
+    """Sorted registered names (for CLI help and error messages)."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Resolve a registered experiment by name.
+
+    Unknown names fail with the full roster and a close-match hint,
+    mirroring the S28 ``resolve_backend`` behavior::
+
+        unknown experiment 'bench_hotpat'; available: …
+        (did you mean 'bench_hotpath'?)
+    """
+    key = (name or "").strip().lower()
+    spec = _REGISTRY.get(key)
+    if spec is not None:
+        return spec
+    message = (
+        f"unknown experiment {name!r}; available: "
+        + ", ".join(available_experiments())
+    )
+    close = difflib.get_close_matches(key, available_experiments(), n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    raise ExperimentError(message)
+
+
+def experiments_by_tag(tag: str) -> List[ExperimentSpec]:
+    """Every registered spec carrying ``tag``, in name order."""
+    wanted = tag.strip().lower()
+    return [
+        _REGISTRY[name]
+        for name in available_experiments()
+        if wanted in _REGISTRY[name].tags
+    ]
+
+
+def select_experiments(
+    names: Optional[Sequence[str]] = None,
+    suite: Optional[str] = None,
+    tags: Optional[Iterable[str]] = None,
+) -> List[ExperimentSpec]:
+    """Resolve an explicit name list, a suite, and/or tag filters.
+
+    With nothing given, returns every registered experiment.  Explicit
+    names and suite/tag filters compose as a union of names then an
+    intersection with tags.
+    """
+    chosen: List[ExperimentSpec] = []
+    if names:
+        chosen.extend(get_experiment(name) for name in names)
+    if suite is not None:
+        key = suite.strip().lower()
+        if key == "all":
+            chosen.extend(
+                _REGISTRY[name] for name in available_experiments()
+            )
+        else:
+            suite_specs = experiments_by_tag(key)
+            if not suite_specs:
+                raise ExperimentError(
+                    f"suite {suite!r} matches no experiments; known suites: "
+                    + ", ".join(KNOWN_SUITES)
+                )
+            chosen.extend(suite_specs)
+    if not names and suite is None:
+        chosen = [_REGISTRY[name] for name in available_experiments()]
+    if tags:
+        wanted = {tag.strip().lower() for tag in tags}
+        chosen = [spec for spec in chosen if wanted <= set(spec.tags)]
+    seen = set()
+    unique: List[ExperimentSpec] = []
+    for spec in chosen:
+        if spec.name not in seen:
+            seen.add(spec.name)
+            unique.append(spec)
+    return unique
+
+
+def _reset_registry_for_tests() -> Dict[str, ExperimentSpec]:
+    """Testing hook: snapshot and clear the registry (restore by update)."""
+    snapshot = dict(_REGISTRY)
+    _REGISTRY.clear()
+    return snapshot
+
+
+__all__ = [
+    "KNOWN_SUITES",
+    "register_experiment",
+    "available_experiments",
+    "get_experiment",
+    "experiments_by_tag",
+    "select_experiments",
+]

@@ -1,0 +1,189 @@
+"""The run session: execute specs, write ``artifacts/<run-id>/``, append
+the ledger.
+
+One :class:`RunSession` is one invocation of ``python -m repro
+experiment run`` (or ``reproduce-all``).  It owns the artifact
+directory:
+
+``manifest.json``
+    what ran, with which params/guard overrides, and the outcome map.
+``report.md``
+    the human summary (statuses, guard verdicts, headline metrics).
+``<experiment>.json``
+    each experiment's normalized :class:`ExperimentResult`.
+
+Unless disabled, every result is also appended to the cross-run SQLite
+ledger so ``compare``/``regressions``/``history`` can see it later.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .ledger import Ledger
+from .paths import default_ledger_path, new_run_id, run_dir
+from .spec import (
+    ExperimentResult,
+    ExperimentSpec,
+    current_git_rev,
+    execute_spec,
+    host_fingerprint,
+)
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunSession:
+    """One experiment invocation: artifact dir + optional ledger append."""
+
+    quick: bool = False
+    label: str = ""
+    artifact_root: Optional[pathlib.Path] = None
+    ledger_path: Optional[pathlib.Path] = None
+    use_ledger: bool = True
+    git_rev: str = ""
+    run_id: str = ""
+    directory: pathlib.Path = field(init=False)
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.git_rev:
+            self.git_rev = current_git_rev()
+        if not self.run_id:
+            self.run_id = new_run_id(self.git_rev)
+        self.host = host_fingerprint()
+        self.started_at = time.time()
+        self.directory = run_dir(self.run_id, self.artifact_root)
+        # run_dir uniquifies; keep run_id in sync with the directory name
+        # so manifest, ledger, and path all agree.
+        self.run_id = self.directory.name
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        param_overrides: Optional[Mapping[str, Any]] = None,
+        guard_overrides: Optional[Mapping[str, float]] = None,
+    ) -> ExperimentResult:
+        """Execute one spec, persist its JSON, remember the result."""
+        result = execute_spec(
+            spec,
+            quick=self.quick,
+            param_overrides=param_overrides,
+            guard_overrides=guard_overrides,
+            git_rev=self.git_rev,
+        )
+        self.results.append(result)
+        out = self.directory / f"{result.name}.json"
+        out.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True, default=str)
+            + "\n"
+        )
+        return result
+
+    def run_all(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        param_overrides: Optional[Mapping[str, Any]] = None,
+        guard_overrides: Optional[Mapping[str, float]] = None,
+        progress=None,
+    ) -> List[ExperimentResult]:
+        for spec in specs:
+            if progress is not None:
+                progress(spec)
+            self.run(
+                spec,
+                param_overrides=param_overrides,
+                guard_overrides=guard_overrides,
+            )
+        return self.results
+
+    # -- persistence -----------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        return {
+            "manifest_schema_version": MANIFEST_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "git_rev": self.git_rev,
+            "host": self.host,
+            "quick": self.quick,
+            "label": self.label,
+            "started_at": self.started_at,
+            "experiments": [
+                {
+                    "name": r.name,
+                    "status": r.status,
+                    "duration_seconds": r.duration_seconds,
+                    "result_file": f"{r.name}.json",
+                    "guards": [v.to_dict() for v in r.guards],
+                }
+                for r in self.results
+            ],
+        }
+
+    def finalize(self) -> pathlib.Path:
+        """Write manifest + report, append the ledger; returns the dir."""
+        from .report import render_run_report
+
+        (self.directory / "manifest.json").write_text(
+            json.dumps(self.manifest(), indent=2, sort_keys=True, default=str)
+            + "\n"
+        )
+        (self.directory / "report.md").write_text(
+            render_run_report(
+                self.run_id,
+                self.results,
+                git_rev=self.git_rev,
+                host=self.host,
+                quick=self.quick,
+                label=self.label,
+            )
+        )
+        if self.use_ledger:
+            path = (
+                self.ledger_path
+                if self.ledger_path is not None
+                else default_ledger_path()
+            )
+            with Ledger(path) as ledger:
+                ledger.record_run(
+                    self.run_id,
+                    git_rev=self.git_rev,
+                    host=self.host,
+                    quick=self.quick,
+                    label=self.label,
+                    started_at=self.started_at,
+                )
+                for result in self.results:
+                    ledger.record_result(self.run_id, result)
+        return self.directory
+
+    # -- outcome ---------------------------------------------------------
+
+    @property
+    def guard_failed(self) -> bool:
+        return any(r.status == "guard_failed" for r in self.results)
+
+    @property
+    def errored(self) -> bool:
+        return any(r.status == "error" for r in self.results)
+
+    def exit_code(self) -> int:
+        """0 ok · 1 an experiment errored · 2 a guard regressed."""
+        if self.errored:
+            return 1
+        if self.guard_failed:
+            return 2
+        return 0
+
+
+__all__ = ["RunSession", "MANIFEST_SCHEMA_VERSION"]
