@@ -28,6 +28,11 @@ Cluster (S28)::
     python -m repro autoscale --rates 2,8,8,1 --per-proof-ms 250 --max-nodes 4
     python -m repro autoscale --rates 2,8 --spawn serial   # actuate real nodes
 
+Fleet serving (S30)::
+
+    python -m repro serve --fleet serial --min-nodes 1 --max-nodes 3 \\
+        --per-proof-ms 50 --node-parallelism 1   # shed-or-scale loop
+
 Unified experiment runner (S29)::
 
     python -m repro experiment list                       # the catalog
@@ -237,9 +242,31 @@ def _run_serve(args) -> int:
         return task, keys[which], witness_key
 
     sink = JsonlTraceSink(args.trace) if args.trace else None
-    backend = RuntimeProofBackend.from_specs(
-        specs, workers=args.workers, backend=args.backend
-    )
+    fleet = None
+    if args.fleet:
+        if args.backend:
+            print(
+                "error: --fleet and --backend are mutually exclusive "
+                "(--fleet builds the cluster backend itself)",
+                file=sys.stderr,
+            )
+            if sink is not None:
+                sink.close()
+            return 1
+        from .service import launch_fleet
+
+        fleet = launch_fleet(
+            args.fleet,
+            initial_nodes=max(1, args.min_nodes),
+            trace=sink,
+        )
+        backend = RuntimeProofBackend.from_specs(
+            specs, workers=args.workers, backend=fleet.backend
+        )
+    else:
+        backend = RuntimeProofBackend.from_specs(
+            specs, workers=args.workers, backend=args.backend
+        )
     injector = None
     if args.fault_plan:
         from .resilience import FaultInjector, FaultPlan, apply_fault_plan
@@ -259,6 +286,12 @@ def _run_serve(args) -> int:
     )
     if args.fault_plan:
         print(f"fault plan: {args.fault_plan}")
+    if fleet is not None:
+        print(
+            f"fleet: {fleet.pool.size} '{args.fleet}' node(s), scaling "
+            f"{args.min_nodes}..{args.max_nodes}, supervisor tick "
+            f"{args.supervisor_interval * 1e3:.0f} ms"
+        )
     service = ProofService(
         backend,
         policy=policy,
@@ -266,11 +299,31 @@ def _run_serve(args) -> int:
         trace=sink,
         fault_injector=injector,
     )
+    supervisor = None
+    if fleet is not None:
+        from .cluster import LoadModel
+
+        supervisor = fleet.supervise(
+            service,
+            LoadModel(
+                per_proof_seconds=args.per_proof_ms / 1e3,
+                node_parallelism=args.node_parallelism,
+            ),
+            min_nodes=args.min_nodes,
+            max_nodes=args.max_nodes,
+            interval_seconds=args.supervisor_interval,
+            shrink_patience=args.shrink_patience,
+        )
+    fleet_nodes = None
     try:
         tickets, rejected = replay(service, events, make_request)
         service.drain(timeout=600)
+        if fleet is not None:
+            fleet_nodes = fleet.pool.size
     finally:
         service.close()
+        if fleet is not None:
+            fleet.close()
         if sink is not None:
             sink.close()
     checked = 0
@@ -305,6 +358,15 @@ def _run_serve(args) -> int:
     rstats = getattr(backend.backend, "last_resilience_stats", None)
     if rstats is not None:
         print(rstats.report())
+    if fleet is not None:
+        cluster = fleet.cluster
+        print(
+            f"fleet           : finished with {fleet_nodes} node(s) "
+            f"(supervisor ticks {supervisor.ticks}, "
+            f"errors {supervisor.errors}); hedges "
+            f"issued {cluster.hedges_issued}, won {cluster.hedges_won}, "
+            f"denied {cluster.hedges_denied}"
+        )
     print(f"rejected at admission: {rejected}")
     if failed:
         print(f"failed tickets: {failed}")
@@ -538,6 +600,17 @@ def main(argv=None) -> int:
         "--verify-sample", type=int, default=8,
         help="how many returned proofs to spot-verify (default 8)",
     )
+    serve_group.add_argument(
+        "--fleet", default=None, metavar="SELECTOR",
+        help="serve over a supervised local node fleet: spawn --min-nodes "
+        "`python -m repro node` subprocesses wrapping this inner backend "
+        "(e.g. 'serial', 'pool:2'), autoscale --min-nodes..--max-nodes "
+        "from the live arrival rate, and shed only while scaling lags",
+    )
+    serve_group.add_argument(
+        "--supervisor-interval", type=float, default=0.25,
+        help="fleet supervisor tick period in seconds (default 0.25)",
+    )
     cluster_group = parser.add_argument_group("cluster options")
     cluster_group.add_argument(
         "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
@@ -597,6 +670,7 @@ def main(argv=None) -> int:
 
     if args.experiment in ("prove", "serve"):
         from .errors import (
+            ClusterError,
             ExecutionError,
             ProofError,
             ResilienceError,
@@ -607,7 +681,8 @@ def main(argv=None) -> int:
             return _run_prove(args) if args.experiment == "prove" else \
                 _run_serve(args)
         except (
-            ExecutionError, ProofError, ResilienceError, ServiceError, OSError
+            ClusterError, ExecutionError, ProofError, ResilienceError,
+            ServiceError, OSError,
         ) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

@@ -25,8 +25,9 @@ Proof bytes are invariant across all of it: a cluster proof is
 byte-identical to a serial one, including after mid-batch node deaths.
 """
 
-from .autoscale import Autoscaler, LoadModel, NodePool, probe_node
+from .autoscale import Autoscaler, LoadModel, NodePool, drain_address, probe_node
 from .coordinator import ClusterBackend
+from .hedging import LatencyTracker, TokenBucket
 from .node import NodeServer
 from .protocol import PROTOCOL_VERSION
 from .remote import RemoteBackend
@@ -52,6 +53,30 @@ and minimal remap (a join/leave moves ≈ 1/N of circuits) follow from
 the construction; `ClusterBackend.cluster_stats()["cache_affinity"]`
 measures the payoff as Σ hits / Σ lookups across the fleet's `STATS`.
 
+**Hedged dispatch.** A node that is *slow* (not dead) never trips a
+breaker; the coordinator covers that gap with hedging.  Every shard's
+client-observed latency feeds a sliding `LatencyTracker`; once a shard
+outlives `hedge_delay_factor` × the window's p95 (floored at
+`min_hedge_delay_seconds`, default 50 ms), the same task indices are
+re-issued to the shard's ring successor and the first successful result
+wins — safe because both attempts produce byte-identical proofs.  A
+global `TokenBucket` (`hedge_budget_per_second`/`hedge_budget_burst`)
+caps hedge issues so fleet-wide slowness cannot amplify into a retry
+storm; hedges are budget-gated, failover retries never are.  `hedge` /
+`hedge_won` / `hedge_denied` trace events and
+`cluster_stats()["hedging"]` expose the behavior.
+
+**Graceful drain (protocol v2).** `DRAIN` flips a node into draining
+mode: new `PROVE` batches are refused as *unavailable* (breakers route
+around), in-flight batches stream their results to completion, then
+`DRAIN_OK` acknowledges.  `RemoteBackend.drain(timeout)` /
+`drain_address("host:port")` drive it client-side, and
+`NodePool.retire(drain_timeout=…)` turns a scale-down into
+unroute → drain → SIGTERM → (timeout) → SIGKILL.  `NodePool.close()`
+terminates all children concurrently against one `terminate_timeout`
+deadline and kills stragglers, so one wedged subprocess cannot hang
+shutdown.
+
 **Failure model.** Transport loss anywhere becomes
 `BackendUnavailableError` — the same blameless-outage type the S25
 layer speaks — so per-node `CircuitBreaker`s open on a dead peer, the
@@ -74,11 +99,14 @@ __all__ = [
     "Autoscaler",
     "ClusterBackend",
     "HashRing",
+    "LatencyTracker",
     "LoadModel",
     "NodePool",
     "NodeServer",
     "PROTOCOL_VERSION",
     "RemoteBackend",
+    "TokenBucket",
+    "drain_address",
     "key_point",
     "probe_node",
 ]

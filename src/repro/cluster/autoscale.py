@@ -132,10 +132,13 @@ class NodePool:
         *,
         host: str = "127.0.0.1",
         ready_timeout: float = 30.0,
+        terminate_timeout: float = 5.0,
     ):
         self.backend = backend
         self.host = host
         self.ready_timeout = ready_timeout
+        #: Seconds a child gets to exit after SIGTERM before SIGKILL.
+        self.terminate_timeout = terminate_timeout
         self._procs: List[subprocess.Popen] = []
         self._addresses: List[str] = []
         self._lock = threading.Lock()
@@ -193,19 +196,36 @@ class NodePool:
             self._addresses.append(address)
         return address
 
-    def retire(self) -> Optional[str]:
-        """Stop the youngest node; returns its address (None if empty)."""
+    def _stop(self, proc: subprocess.Popen) -> None:
+        """SIGTERM, bounded wait, then SIGKILL — no child wedges a retire."""
+        proc.terminate()
+        try:
+            proc.wait(timeout=self.terminate_timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    def retire(self, *, drain_timeout: Optional[float] = None) -> Optional[str]:
+        """Stop the youngest node; returns its address (None if empty).
+
+        With ``drain_timeout`` the node is first asked to ``DRAIN`` —
+        stop accepting batches, finish in-flight work — over a dedicated
+        connection, and only then terminated, so a scale-down never
+        discards a proof that was already being computed.  Drain
+        failures (the node is already dead, or too wedged to answer) are
+        swallowed: the escalation path still guarantees termination.
+        """
         with self._lock:
             if not self._procs:
                 return None
             proc = self._procs.pop()
             address = self._addresses.pop()
-        proc.terminate()
-        try:
-            proc.wait(timeout=10.0)
-        except subprocess.TimeoutExpired:
-            proc.kill()
-            proc.wait()
+        if drain_timeout is not None and proc.poll() is None:
+            try:
+                drain_address(address, timeout=drain_timeout)
+            except Exception:
+                pass
+        self._stop(proc)
         return address
 
     def scale_to(self, count: int) -> List[str]:
@@ -238,9 +258,28 @@ class NodePool:
         return dropped
 
     def close(self) -> None:
-        """Retire every node (idempotent)."""
-        while self.retire() is not None:
-            pass
+        """Stop every node (idempotent), escalating to SIGKILL.
+
+        All children are terminated *concurrently* against one shared
+        ``terminate_timeout`` deadline; any child still alive at the
+        deadline — a node ignoring SIGTERM mid-syscall, a wedged
+        interpreter — is killed.  One hung subprocess can therefore
+        delay shutdown by at most ``terminate_timeout`` seconds total,
+        not per node.
+        """
+        with self._lock:
+            procs, self._procs = self._procs, []
+            self._addresses = []
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + self.terminate_timeout
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
 
     def __enter__(self) -> "NodePool":
         return self
@@ -292,8 +331,13 @@ class Autoscaler:
 
     Args:
         model:            The :class:`LoadModel` doing the arithmetic.
-        pool:             Optional :class:`NodePool` to actuate; without
-            one the autoscaler is a pure decision engine (dry-run mode —
+        pool:             Optional actuator.  A plain :class:`NodePool`
+            is spawned/retired directly; any object exposing
+            ``grow_to(target)`` / ``shrink_to(target)`` / ``size`` (the
+            :class:`~repro.service.fleet.FleetActuator`, which also
+            keeps the coordinator's ring in sync and drains before
+            terminating) is delegated to instead.  Without one the
+            autoscaler is a pure decision engine (dry-run mode —
             the CLI's ``autoscale`` verb and the planner tests).
         min_nodes/max_nodes: Fleet size clamp.
         cooldown_seconds: Minimum spacing between scale actions.
@@ -405,6 +449,17 @@ class Autoscaler:
         if self.pool is None:
             self._virtual_size = target
             return
+        # Duck-typed actuator seam: a FleetActuator grows the pool *and*
+        # the coordinator's ring together, and shrinks through
+        # drain-then-terminate; it emits its own node events.
+        grow_to = getattr(self.pool, "grow_to", None)
+        shrink_to = getattr(self.pool, "shrink_to", None)
+        if callable(grow_to) and callable(shrink_to):
+            if action == "grow":
+                grow_to(target)
+            else:
+                shrink_to(target)
+            return
         if action == "grow":
             while self.pool.size < target:
                 address = self.pool.spawn()
@@ -426,6 +481,26 @@ class Autoscaler:
                     "ring_rebalance", node=f"remote:{address}",
                     nodes=self.pool.size,
                 )
+
+
+def drain_address(address: str, timeout: float = 10.0) -> dict:
+    """Drain the node at ``host:port`` over a dedicated connection.
+
+    A fresh client matters: the coordinator's persistent connection may
+    be mid-batch, and drain must not queue behind a long prove.  The
+    socket timeout is the drain timeout plus margin, so a node that
+    needs the full window to quiesce still gets to acknowledge.
+    """
+    host, port = address.rsplit(":", 1)
+    client = RemoteBackend(
+        host, int(port),
+        connect_timeout=min(5.0, timeout + 1.0),
+        io_timeout=timeout + 5.0,
+    )
+    try:
+        return client.drain(timeout)
+    finally:
+        client.close()
 
 
 def probe_node(address: str, timeout: float = 5.0) -> dict:

@@ -28,14 +28,28 @@ deterministically from the same canonical spec, a failover changes
 cluster tests pins that down.  Configuration errors
 (:class:`~repro.errors.ProtocolMismatchError`, unknown selectors) are
 never retried: a version-skewed fleet fails loudly, not slowly.
+
+**Hedged dispatch** covers the failure mode breakers can't see: a node
+that is *slow* rather than dead.  Each shard's client-observed latency
+feeds a sliding :class:`~repro.cluster.hedging.LatencyTracker`; once a
+shard has run longer than ``hedge_delay_factor`` × the window's p95
+(floored at ``min_hedge_delay_seconds``), the coordinator re-issues the
+same task indices to the shard's ring successor and takes whichever
+attempt succeeds first.  Determinism makes this free of coordination:
+both attempts produce byte-identical proofs, so "first result wins" is
+safe by construction.  A global :class:`~repro.cluster.hedging.TokenBucket`
+budget caps hedge issues per second — during fleet-wide slowness every
+shard looks hedge-worthy, and doubling the load then is how retry
+storms start.  Hedges are an *optimization* and are budget-gated;
+failover retries are *correctness recovery* and never are.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.batch import ProofTask
 from ..core.proof import SnarkProof
@@ -50,6 +64,7 @@ from ..resilience.health import OPEN, CLOSED, CircuitBreaker, HealthTracker
 from ..runtime.spec import ProverSpec
 from ..runtime.stats import RuntimeStats, merge_runtime_stats
 from ..runtime.trace import JsonlTraceSink
+from .hedging import LatencyTracker, TokenBucket
 from .ring import HashRing
 
 
@@ -72,6 +87,30 @@ class _Member:
         return float(max(1, getattr(self.backend, "parallelism", 1)))
 
 
+class _ShardRun:
+    """In-flight state for one shard: primary attempt plus, maybe, a hedge.
+
+    ``outcome`` stays ``None`` while any attempt for the shard is still
+    outstanding; it becomes either a ``(results, stats)`` pair (first
+    success wins) or the shard's :class:`BackendUnavailableError` once
+    every attempt has failed.
+    """
+
+    __slots__ = (
+        "member", "indices", "start", "outcome",
+        "attempts_out", "hedge_state", "hedge_member",
+    )
+
+    def __init__(self, member: _Member, indices: List[int]):
+        self.member = member
+        self.indices = indices
+        self.start = 0.0
+        self.outcome = None
+        self.attempts_out = 0
+        self.hedge_state: Optional[str] = None  # None | issued | skipped
+        self.hedge_member: Optional[_Member] = None
+
+
 class ClusterBackend:
     """Composite backend routing batches over a node fleet by digest.
 
@@ -89,6 +128,19 @@ class ClusterBackend:
         half_open_probes:   Probe budget while half-open.
         max_unavailable_seconds:  How long one batch keeps waiting for
                             *any* admissible node before giving up.
+        hedge:              Enable hedged dispatch (tail-latency
+                            mitigation; needs ≥ 2 ring members to act).
+        hedge_delay_factor: Hedge once a shard exceeds this multiple of
+                            the window's p95 latency.
+        min_hedge_delay_seconds:  Floor on the hedge delay, so
+                            microsecond-fast in-process fleets don't
+                            hedge on scheduler jitter.
+        hedge_min_samples / hedge_window:  Latency-window shape; hedging
+                            stays off until ``hedge_min_samples`` shard
+                            completions have been observed.
+        hedge_budget_per_second / hedge_budget_burst:  Global token
+                            bucket bounding hedge issues (the
+                            anti-retry-storm valve).
     """
 
     def __init__(
@@ -101,6 +153,13 @@ class ClusterBackend:
         cooldown_seconds: float = 0.25,
         half_open_probes: int = 1,
         max_unavailable_seconds: float = 5.0,
+        hedge: bool = True,
+        hedge_delay_factor: float = 1.5,
+        min_hedge_delay_seconds: float = 0.05,
+        hedge_min_samples: int = 8,
+        hedge_window: int = 64,
+        hedge_budget_per_second: float = 4.0,
+        hedge_budget_burst: float = 8.0,
     ):
         children = list(children)
         if not children:
@@ -113,6 +172,18 @@ class ClusterBackend:
         self.cooldown_seconds = cooldown_seconds
         self.half_open_probes = half_open_probes
         self.max_unavailable_seconds = max_unavailable_seconds
+        self.hedge = hedge
+        self.hedge_delay_factor = hedge_delay_factor
+        self.min_hedge_delay_seconds = min_hedge_delay_seconds
+        self._latency = LatencyTracker(
+            window=hedge_window, min_samples=hedge_min_samples
+        )
+        self._hedge_budget = TokenBucket(
+            hedge_budget_per_second, hedge_budget_burst
+        )
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.hedges_denied = 0
         self._lock = threading.Lock()
         self._members: Dict[str, _Member] = {}
         self._joined = 0
@@ -307,15 +378,7 @@ class ClusterBackend:
                     trace=ctx.sink, parent=ctx.span,
                 )
 
-            if len(plan) == 1:
-                outcomes = [self._attempt(plan[0][0], run_shard, plan[0][1])]
-            else:
-                with ThreadPoolExecutor(max_workers=len(plan)) as pool:
-                    futures = [
-                        pool.submit(self._attempt, member, run_shard, indices)
-                        for member, indices in plan
-                    ]
-                    outcomes = [future.result() for future in futures]
+            outcomes = self._run_plan(plan, order, run_shard, ctx)
             still_pending: List[int] = []
             for (member, indices), outcome in zip(plan, outcomes):
                 if isinstance(outcome, BackendUnavailableError):
@@ -341,6 +404,162 @@ class ClusterBackend:
         if ctx.sink is not None:
             ctx.sink.flush()
         return results, stats  # type: ignore[return-value]
+
+    # -- hedged execution ------------------------------------------------------
+
+    def hedge_delay(self) -> Optional[float]:
+        """Current hedge trigger in seconds, or ``None`` while disabled.
+
+        ``None`` means either hedging is off or the latency window has
+        fewer than ``hedge_min_samples`` completions to estimate a p95.
+        """
+        if not self.hedge:
+            return None
+        p95 = self._latency.percentile(95.0)
+        if p95 is None:
+            return None
+        return max(self.min_hedge_delay_seconds, p95 * self.hedge_delay_factor)
+
+    def _timed_attempt(self, member: _Member, run_shard, indices: List[int]):
+        start = time.monotonic()
+        outcome = self._attempt(member, run_shard, indices)
+        if not isinstance(outcome, BackendUnavailableError):
+            self._latency.record(time.monotonic() - start)
+        return outcome
+
+    def _hedge_successor(
+        self, order: List[str], exclude: Set[str]
+    ) -> Optional[_Member]:
+        """First admissible ring successor not already working the shard."""
+        with self._lock:
+            members = dict(self._members)
+        for member_id in order:
+            if member_id in exclude:
+                continue
+            member = members.get(member_id)
+            if member is not None and member.breaker.acquire():
+                return member
+        return None
+
+    def _run_plan(self, plan, order: List[str], run_shard, ctx):
+        """Execute every shard, hedging stragglers; outcomes in plan order.
+
+        Each outcome is a ``(results, stats)`` pair or the shard's
+        :class:`BackendUnavailableError` (handed to the failover loop).
+        A hedge loser keeps running in the background — its attempt
+        concludes its own breaker bookkeeping — but the batch returns as
+        soon as every shard has a first result.
+        """
+        delay = self.hedge_delay()
+        if len(plan) == 1 and (delay is None or len(self.ring) <= 1):
+            member, indices = plan[0]
+            return [self._timed_attempt(member, run_shard, indices)]
+        shards = [_ShardRun(member, indices) for member, indices in plan]
+        executor = ThreadPoolExecutor(max_workers=2 * len(plan))
+        futures: Dict = {}
+        outstanding: Set = set()
+        try:
+            for shard in shards:
+                shard.start = time.monotonic()
+                shard.attempts_out = 1
+                future = executor.submit(
+                    self._attempt, shard.member, run_shard, shard.indices
+                )
+                futures[future] = (shard, shard.member, False)
+                outstanding.add(future)
+            while any(shard.outcome is None for shard in shards):
+                timeout = None
+                if delay is not None:
+                    deadlines = [
+                        shard.start + delay
+                        for shard in shards
+                        if shard.outcome is None and shard.hedge_state is None
+                    ]
+                    if deadlines:
+                        timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(
+                    outstanding, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    outstanding.discard(future)
+                    shard, member, is_hedge = futures.pop(future)
+                    shard.attempts_out -= 1
+                    outcome = future.result()
+                    if isinstance(outcome, BackendUnavailableError):
+                        # Dead nodes are the failover loop's job, not
+                        # the hedger's: give up on the shard only once
+                        # no attempt for it is still running.
+                        if shard.outcome is None and shard.attempts_out == 0:
+                            shard.outcome = outcome
+                        continue
+                    if shard.outcome is None:
+                        shard.outcome = outcome
+                        self._latency.record(time.monotonic() - shard.start)
+                        if is_hedge:
+                            with self._lock:
+                                self.hedges_won += 1
+                            ctx.emit(
+                                "hedge_won", node=member.id,
+                                primary=shard.member.id,
+                                tasks=len(shard.indices),
+                            )
+                if delay is not None:
+                    now = time.monotonic()
+                    for shard in shards:
+                        if (
+                            shard.outcome is not None
+                            or shard.hedge_state is not None
+                            or now < shard.start + delay
+                        ):
+                            continue
+                        self._issue_hedge(
+                            shard, order, delay, run_shard, ctx,
+                            executor, futures, outstanding,
+                        )
+        finally:
+            # Never block the batch on hedge losers: leave them to
+            # finish (bounded by the remote io timeout) and conclude
+            # their breakers in the background.
+            executor.shutdown(wait=False)
+        return [shard.outcome for shard in shards]
+
+    def _issue_hedge(
+        self, shard: _ShardRun, order, delay, run_shard, ctx,
+        executor, futures, outstanding,
+    ) -> None:
+        successor = self._hedge_successor(order, {shard.member.id})
+        if successor is None:
+            shard.hedge_state = "skipped"
+            ctx.emit(
+                "hedge_denied", primary=shard.member.id,
+                reason="no_successor", tasks=len(shard.indices),
+            )
+            return
+        if not self._hedge_budget.try_acquire():
+            successor.breaker.release()
+            shard.hedge_state = "skipped"
+            with self._lock:
+                self.hedges_denied += 1
+            ctx.emit(
+                "hedge_denied", primary=shard.member.id,
+                reason="budget", tasks=len(shard.indices),
+            )
+            return
+        shard.hedge_state = "issued"
+        shard.hedge_member = successor
+        shard.attempts_out += 1
+        with self._lock:
+            self.hedges_issued += 1
+        ctx.emit(
+            "hedge", node=successor.id, primary=shard.member.id,
+            tasks=len(shard.indices),
+            delay_ms=round(delay * 1000.0, 3),
+        )
+        future = executor.submit(
+            self._attempt, successor, run_shard, shard.indices
+        )
+        futures[future] = (shard, successor, True)
+        outstanding.add(future)
 
     @staticmethod
     def _attempt(member: _Member, run_shard, indices: List[int]):
@@ -395,10 +614,21 @@ class ClusterBackend:
             hits += int(affinity.get("hits") or 0)
             misses += int(affinity.get("misses") or 0)
         looked_up = hits + misses
+        with self._lock:
+            hedging = {
+                "enabled": self.hedge,
+                "issued": self.hedges_issued,
+                "won": self.hedges_won,
+                "denied": self.hedges_denied,
+                "samples": len(self._latency),
+            }
+        hedging["delay_seconds"] = self.hedge_delay()
+        hedging["budget_available"] = self._hedge_budget.available
         return {
             "backend": self.name,
             "nodes": nodes,
             "ring_nodes": len(self.ring),
+            "hedging": hedging,
             "cache_affinity": {
                 "hits": hits,
                 "misses": misses,

@@ -1,0 +1,113 @@
+"""Hedging primitives: tail-latency bookkeeping and a retry budget.
+
+Hedged requests (the "tied requests" discipline from Dean & Barroso's
+*The Tail at Scale*) re-issue a slow shard to a second node and take
+whichever answer lands first.  Two pieces of state make that safe and
+cheap enough to leave on by default:
+
+* :class:`LatencyTracker` — a sliding window of observed shard
+  latencies whose p95 sets the hedge delay.  Hedging only below the
+  tail means the common case pays nothing: a hedge fires only when a
+  shard has already taken longer than 95% of its recent peers.  The
+  window records *client-observed* completion times (first success,
+  hedged or not), so a working hedge keeps its own trigger calibrated
+  instead of letting one slow node drag the delay up.
+
+* :class:`TokenBucket` — a global budget on hedge issues.  During
+  fleet-wide slowness (cold caches, host contention) every shard looks
+  like a straggler; an unbudgeted hedger would double the fleet's load
+  exactly when it can least afford it — the classic retry storm.  The
+  bucket caps extra load at ``rate_per_second`` with a small burst
+  allowance, and a denied hedge simply waits for the primary.
+
+Both are thread-safe and clock-injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from ..stats import percentile
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``try_acquire`` never blocks.
+
+    Args:
+        rate_per_second:  Sustained refill rate (tokens/second).
+        burst:            Bucket capacity; starts full, so short bursts
+                          up to this many acquisitions are admitted
+                          even from cold.
+        clock:            Monotonic seconds source (injectable).
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate_per_second = max(0.0, float(rate_per_second))
+        self.burst = max(0.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+        self.granted = 0
+        self.denied = 0
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_second)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; never waits."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                self.granted += 1
+                return True
+            self.denied += 1
+            return False
+
+    @property
+    def available(self) -> float:
+        """Current token count (after refill) — a gauge, not a reservation."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class LatencyTracker:
+    """Sliding-window shard latencies; p95 picks the hedge delay.
+
+    ``percentile`` returns ``None`` until ``min_samples`` observations
+    have arrived — hedging stays off while the estimate would be noise.
+    """
+
+    def __init__(self, window: int = 64, min_samples: int = 8):
+        self.min_samples = max(1, int(min_samples))
+        self._samples: deque = deque(maxlen=max(self.min_samples, int(window)))
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile of the window, or ``None`` if too few samples."""
+        with self._lock:
+            if len(self._samples) < self.min_samples:
+                return None
+            return percentile(list(self._samples), q)

@@ -25,6 +25,15 @@ gauges.
 hard (``os._exit``) after proving that many tasks, mid-batch and
 without a goodbye frame — exactly what a kernel panic or an OOM kill
 looks like from the coordinator's side.
+
+The ``DRAIN`` frame is the opposite of ``die_after``: a peer (usually
+the fleet supervisor about to scale in) asks the node to stop taking
+work.  The node flips into draining mode — new ``PROVE`` batches are
+refused with a typed *unavailable* error so the coordinator's breaker
+routes around it — waits until every in-flight batch has streamed its
+last ``RESULT``, then answers ``DRAIN_OK``.  Only after that
+acknowledgement does the pool terminate the process, so a rolling
+restart never loses a proof that was already being computed.
 """
 
 from __future__ import annotations
@@ -103,6 +112,12 @@ class NodeServer:
         self.die_after = die_after
         self.started_at = time.monotonic()
         self._lock = threading.Lock()
+        #: Drain coordination: ``_in_flight`` counts PROVE batches being
+        #: handled right now; ``_idle`` is notified as each one finishes
+        #: so a DRAIN handler can wait for quiescence.
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._draining = False
         #: Value-keyed canonical spec per circuit (bounds the backend's
         #: identity caches; one prover / pool runtime per circuit).
         self._specs: Dict[Tuple, ProverSpec] = {}
@@ -156,12 +171,15 @@ class NodeServer:
         with self._lock:
             hits, misses = self.spec_hits, self.spec_misses
             proofs, batches = self.proofs_total, self.batches_total
+            draining, in_flight = self._draining, self._in_flight
         looked_up = hits + misses
         return {
             "version": LIBRARY_VERSION,
             "backend": self.backend.name,
             "parallelism": getattr(self.backend, "parallelism", 1),
             "uptime_seconds": time.monotonic() - self.started_at,
+            "draining": draining,
+            "in_flight": in_flight,
             "proofs_total": proofs,
             "batches_total": batches,
             "circuits_resident": len(self._specs),
@@ -224,6 +242,8 @@ class NodeServer:
                     protocol.send_frame(sock, protocol.PONG, {"t": time.time()})
                 elif kind == protocol.STATS:
                     protocol.send_frame(sock, protocol.STATS_OK, self.stats())
+                elif kind == protocol.DRAIN:
+                    self._handle_drain(sock, payload)
                 elif kind == protocol.PROVE:
                     self._handle_prove(sock, payload)
                 else:
@@ -253,6 +273,41 @@ class NodeServer:
             except OSError:
                 pass
 
+    # -- draining --------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting batches; wait for in-flight work to finish.
+
+        Returns ``True`` once the node is quiescent, ``False`` if
+        in-flight batches were still running when ``timeout`` expired
+        (the node stays in draining mode either way — drain is one-way).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            self._draining = True
+            while self._in_flight > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+    def _handle_drain(self, sock: socket.socket, payload: dict) -> None:
+        timeout = payload.get("timeout")
+        drained = self.drain(None if timeout is None else float(timeout))
+        with self._lock:
+            in_flight, proofs = self._in_flight, self.proofs_total
+        protocol.send_frame(
+            sock,
+            protocol.DRAIN_OK,
+            {
+                "drained": drained,
+                "in_flight": in_flight,
+                "proofs_total": proofs,
+                "version": LIBRARY_VERSION,
+            },
+        )
+
     # -- proving ---------------------------------------------------------------
 
     def _canonical_spec(self, spec: ProverSpec) -> Tuple[ProverSpec, bool]:
@@ -273,6 +328,25 @@ class NodeServer:
                 protocol.error_payload(str(exc), mismatch=True),
             )
             return
+        with self._idle:
+            if self._draining:
+                protocol.send_frame(
+                    sock, protocol.ERROR,
+                    protocol.error_payload(
+                        "node is draining — not accepting new batches",
+                        unavailable=True,
+                    ),
+                )
+                return
+            self._in_flight += 1
+        try:
+            self._prove_batch(sock, payload)
+        finally:
+            with self._idle:
+                self._in_flight -= 1
+                self._idle.notify_all()
+
+    def _prove_batch(self, sock: socket.socket, payload: dict) -> None:
         request = payload.get("request", 0)
         spec = payload["spec"]
         tasks = payload["tasks"]

@@ -28,7 +28,10 @@ handshake), ``PROVE`` (a task batch), ``RESULT`` (node → client, one
 streamed chunk of finished proofs), ``DONE`` (node → client, end of a
 batch with the run report), ``STATS``/``STATS_OK`` (cache and
 throughput gauges), ``PING``/``PONG`` (liveness), ``ERROR`` (node →
-client, typed failure), ``BYE`` (orderly close).
+client, typed failure), ``BYE`` (orderly close), ``DRAIN`` /
+``DRAIN_OK`` (graceful shutdown: the node stops accepting new batches,
+finishes what is in flight, then acknowledges — the handshake behind
+the fleet's drain-then-terminate shrink path).
 """
 
 from __future__ import annotations
@@ -42,7 +45,8 @@ from .. import __version__ as LIBRARY_VERSION
 from ..errors import ClusterError, NodeConnectionError, ProtocolMismatchError
 
 MAGIC = b"RPCL"
-PROTOCOL_VERSION = 1
+#: v2 added the DRAIN/DRAIN_OK graceful-shutdown frames.
+PROTOCOL_VERSION = 2
 
 #: magic, protocol version, frame kind, payload length.
 HEADER = struct.Struct("<4sHHI")
@@ -62,6 +66,8 @@ PING = 7
 PONG = 8
 ERROR = 9
 BYE = 10
+DRAIN = 11
+DRAIN_OK = 12
 
 KIND_NAMES: Dict[int, str] = {
     HELLO: "HELLO",
@@ -74,6 +80,8 @@ KIND_NAMES: Dict[int, str] = {
     PONG: "PONG",
     ERROR: "ERROR",
     BYE: "BYE",
+    DRAIN: "DRAIN",
+    DRAIN_OK: "DRAIN_OK",
 }
 
 

@@ -188,6 +188,19 @@ class RemoteBackend:
         """The node's ``STATS`` payload (throughput + cache gauges)."""
         return self._roundtrip(protocol.STATS, {}, protocol.STATS_OK)
 
+    def drain(self, timeout: Optional[float] = None) -> dict:
+        """Ask the node to drain: refuse new batches, finish in-flight.
+
+        Blocks until the node acknowledges with ``DRAIN_OK`` (its reply
+        reports whether it reached quiescence within ``timeout``).  Use
+        a *dedicated* client for this — the coordinator's persistent
+        connection may be mid-batch, and drain should not queue behind
+        a long prove.
+        """
+        return self._roundtrip(
+            protocol.DRAIN, {"timeout": timeout}, protocol.DRAIN_OK
+        )
+
     # -- proving ---------------------------------------------------------------
 
     def prove_tasks(

@@ -185,11 +185,26 @@ class AdmissionError(ServiceError):
     instead of unbounded queueing: callers inspect :attr:`reason`
     (``"queue_full"``, ``"bulk_shed"``, ``"service_closed"``) and decide
     whether to retry, downgrade, or shed load themselves.
+
+    :attr:`retry_after_seconds` is the service's backoff hint, derived
+    from its degradation-ladder state (``None`` when retrying is
+    pointless, e.g. the service is closed): a *scaling* fleet suggests a
+    short retry because capacity is already being added, while a
+    *shedding* one pushes callers further out.
     """
 
-    def __init__(self, reason: str, detail: str = "") -> None:
+    def __init__(
+        self,
+        reason: str,
+        detail: str = "",
+        *,
+        retry_after_seconds: "float | None" = None,
+    ) -> None:
         self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
         message = f"request rejected: {reason}"
         if detail:
             message += f" ({detail})"
+        if retry_after_seconds is not None:
+            message += f"; retry after {retry_after_seconds:.2f}s"
         super().__init__(message)

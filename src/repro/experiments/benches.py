@@ -1,4 +1,4 @@
-"""Measurement cores of the seven extension benchmarks.
+"""Measurement cores of the extension benchmarks.
 
 Moved here (S29) from the ``benchmarks/bench_*.py`` scripts, which are
 now thin CLI shims over these functions via the experiment registry.
@@ -272,6 +272,172 @@ def run_cluster_scaleout(
         "rows": results,
         "scaling_2_over_1": ratio,
         "final_cache_affinity": results[-1]["fleets"][1]["cache_affinity"],
+    }
+
+
+# -- fleet serving (S30) -------------------------------------------------------
+
+
+class _Laggard:
+    """In-process chaos member: a backend that stalls, but never dies.
+
+    Slowness is the failure mode circuit breakers cannot see — the node
+    answers, just late — which is exactly what hedged dispatch exists
+    for.  ``stall`` is flipped on after the warm-up phase so the
+    coordinator's latency window learns *healthy* timings first.
+    """
+
+    def __init__(self, inner, stall_seconds: float = 0.25):
+        self.inner = inner
+        self.stall_seconds = stall_seconds
+        self.stall = False
+        self.stalls = 0
+        self.name = f"laggard:{inner.name}"
+        self.parallelism = getattr(inner, "parallelism", 1)
+
+    def prove_tasks(self, spec, tasks, *, trace=None, parent=None):
+        if self.stall:
+            self.stalls += 1
+            time.sleep(self.stall_seconds)
+        return self.inner.prove_tasks(spec, tasks, trace=trace, parent=parent)
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if callable(close):
+            close()
+
+
+def _fleet_cell(
+    cc,
+    spec,
+    key,
+    *,
+    hedge: bool,
+    requests: int,
+    rate: float,
+    stall_seconds: float,
+    max_batch: int,
+    window: float,
+    seed: int,
+):
+    """One serving run over a 2-member cluster with one laggard.
+
+    Returns (cell payload, wire bytes in event order) so the caller can
+    assert hedged and unhedged runs produced identical proofs.
+    """
+    from ..cluster import ClusterBackend
+    from ..execution import SerialBackend
+    from ..service import (
+        BatchPolicy,
+        ProofService,
+        RuntimeProofBackend,
+        poisson_trace,
+        replay,
+        task_witness_key,
+    )
+
+    laggard = _Laggard(SerialBackend(), stall_seconds=stall_seconds)
+    cluster = ClusterBackend(
+        [SerialBackend(), laggard],
+        hedge=hedge,
+        min_hedge_delay_seconds=0.02,
+        hedge_min_samples=4,
+        hedge_budget_per_second=64.0,
+        hedge_budget_burst=32.0,
+    )
+    # Warm the latency window on healthy timings (stall off): the hedge
+    # delay must derive from what a *fast* shard looks like.
+    warm = [ProofTask(i, cc.witness, cc.public_values) for i in range(4)]
+    for _ in range(3):
+        cluster.prove_tasks(spec, warm)
+    laggard.stall = True
+
+    backend = RuntimeProofBackend({key: spec}, backend=cluster)
+    policy = BatchPolicy(max_batch_size=max_batch, max_wait_seconds=window)
+    events = poisson_trace(requests, rate, seed=seed, duplicate_fraction=0.0)
+
+    def make_request(i):
+        task = ProofTask(i, cc.witness, cc.public_values)
+        return task, key, task_witness_key(task) + i.to_bytes(4, "little")
+
+    service = ProofService(backend, policy=policy, max_queue=4 * requests)
+    start = time.perf_counter()
+    tickets, rejected = replay(service, events, make_request)
+    service.drain(timeout=600)
+    wall = time.perf_counter() - start
+    service.close()
+    cluster.close()
+
+    proofs = [t.result(timeout=60) for t in tickets if t is not None]
+    wire = [serialize_proof(p, DEFAULT_FIELD) for p in proofs]
+    verifier = spec.build_verifier()
+    stats = service.stats
+    return {
+        "hedge": hedge,
+        "wall_seconds": wall,
+        "completed": stats.completed,
+        "rejected": rejected,
+        "laggard_stalls": laggard.stalls,
+        "hedges_issued": cluster.hedges_issued,
+        "hedges_won": cluster.hedges_won,
+        "hedges_denied": cluster.hedges_denied,
+        "p50_ms": stats.p50_latency_seconds * 1e3,
+        "p99_ms": stats.p99_latency_seconds * 1e3,
+        "verified": all(
+            verifier.verify(p, cc.public_values) for p in proofs[:4]
+        ),
+    }, wire
+
+
+def run_fleet_serving(
+    requests: int = 24,
+    rate: float = 150.0,
+    gates: int = 96,
+    stall_seconds: float = 0.25,
+    max_batch: int = 8,
+    window: float = 0.02,
+    seed: int = 13,
+) -> dict:
+    """S30 hedged serving: tail latency with vs without hedged dispatch.
+
+    The same Poisson trace is served twice through identical 2-member
+    in-process clusters where one member stalls every batch; the only
+    difference is ``hedge=``.  Hedging must keep p99 at or below the
+    no-hedge baseline (the ``max_p99_ratio`` guard, multi-core hosts
+    only) without changing a single proof byte.
+    """
+    cc, spec, key = service_setup(gates)
+    kwargs = dict(
+        requests=requests,
+        rate=rate,
+        stall_seconds=stall_seconds,
+        max_batch=max_batch,
+        window=window,
+        seed=seed,
+    )
+    hedged, hedged_wire = _fleet_cell(cc, spec, key, hedge=True, **kwargs)
+    unhedged, unhedged_wire = _fleet_cell(cc, spec, key, hedge=False, **kwargs)
+    assert hedged_wire == unhedged_wire, "hedging changed the proof bytes"
+    ratio = (
+        hedged["p99_ms"] / unhedged["p99_ms"]
+        if unhedged["p99_ms"] > 0
+        else 1.0
+    )
+    return {
+        "requests": requests,
+        "rate": rate,
+        "gates": gates,
+        "stall_seconds": stall_seconds,
+        "host_cores": os.cpu_count() or 1,
+        "hedged": hedged,
+        "unhedged": unhedged,
+        "byte_identical": True,
+        "all_verified": hedged["verified"] and unhedged["verified"],
+        "hedges_issued": hedged["hedges_issued"],
+        "hedges_won": hedged["hedges_won"],
+        "p99_hedged_ms": hedged["p99_ms"],
+        "p99_unhedged_ms": unhedged["p99_ms"],
+        "hedge_p99_ratio": ratio,
     }
 
 
@@ -666,6 +832,7 @@ __all__ = [
     "run_hotpath",
     "run_pipeline_sweep",
     "run_cluster_scaleout",
+    "run_fleet_serving",
     "run_degradation_curve",
     "run_wrapper_overhead",
     "run_journal_tax",

@@ -6,7 +6,7 @@ Importing this module (which ``repro.experiments`` does) registers:
   speedup breakdown — as thin wrappers over ``repro.bench.tables``
   (tagged ``paper``/``paper-table``; quick == full since each computes
   in well under a second), and
-* the seven extension benches (S22–S28), whose measurement cores live
+* the extension benches (S22–S30), whose measurement cores live
   in :mod:`repro.experiments.benches` (tagged ``extension``/``ci``;
   quick params are the old ``--quick`` CI-smoke sizes).
 
@@ -196,6 +196,18 @@ def _service_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
     }
 
 
+def _fleet_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        "host_cores": float(payload["host_cores"]),
+        "p99_hedged_ms": payload["p99_hedged_ms"],
+        "p99_unhedged_ms": payload["p99_unhedged_ms"],
+        "hedge_p99_ratio": payload["hedge_p99_ratio"],
+        "hedges_issued": float(payload["hedges_issued"]),
+        "hedges_won": float(payload["hedges_won"]),
+        "verified_ok": 1.0 if payload["all_verified"] else 0.0,
+    }
+
+
 def _resilience_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
     return {
         "fault_free_throughput": payload["fault_free_throughput"],
@@ -261,6 +273,44 @@ _EXTENSION_SPECS = [
         ),
         full_params={"gates": 256, "batches": (8, 16, 32)},
         quick_params={"gates": 96, "batches": (16,)},
+    ),
+    ExperimentSpec(
+        name="bench_fleet",
+        description="S30 hedged serving: p99 with vs without hedged "
+        "dispatch under one stalling node",
+        runner=lambda params: benches.run_fleet_serving(**params),
+        tags=("extension", "ci", "chaos"),
+        guards=(
+            Guard(
+                name="max_p99_ratio",
+                metric="hedge_p99_ratio",
+                op="<=",
+                threshold=1.0,
+                description="hedged p99 must not exceed the no-hedge "
+                "baseline (multi-core hosts only)",
+                precondition=("host_cores", ">=", 2),
+            ),
+            Guard(
+                name="verified",
+                metric="verified_ok",
+                op=">=",
+                threshold=1.0,
+                description="every sampled fleet proof must verify",
+            ),
+        ),
+        full_params={
+            "requests": 24,
+            "rate": 150.0,
+            "gates": 96,
+            "stall_seconds": 0.25,
+        },
+        quick_params={
+            "requests": 12,
+            "rate": 150.0,
+            "gates": 96,
+            "stall_seconds": 0.2,
+        },
+        metrics_from=_fleet_metrics,
     ),
     ExperimentSpec(
         name="bench_resilience",

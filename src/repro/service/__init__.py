@@ -22,9 +22,16 @@ machinery is fast at.  This package is that layer:
   setup per circuit key;
 * :mod:`~repro.service.workload` — Poisson and bursty arrival traces
   with priorities, deadlines, and duplicates, plus a real-time
-  :func:`replay` driver.
+  :func:`replay` driver;
+* :mod:`~repro.service.fleet` (S30) — the shed-or-scale layer: a
+  :class:`FleetSupervisor` feeding live arrival rates into the cluster
+  :class:`~repro.cluster.Autoscaler`, a :class:`FleetActuator` keeping
+  pool and hash ring in lockstep with drain-then-terminate shrink, and
+  the ``healthy → scaling → brownout → shedding`` degradation ladder
+  surfaced through :class:`ServiceStats` and retry-after hints.
 
-``python -m repro serve`` replays a synthetic trace end to end;
+``python -m repro serve`` replays a synthetic trace end to end (add
+``--fleet`` to serve it over a supervised local node fleet);
 ``benchmarks/bench_service.py`` sweeps arrival rate × batch window.
 """
 
@@ -36,9 +43,16 @@ from .backends import (
 )
 from .batcher import BatchPolicy, DynamicBatcher
 from .cache import ResultCache
+from .fleet import (
+    Fleet,
+    FleetActuator,
+    FleetSupervisor,
+    find_cluster_backend,
+    launch_fleet,
+)
 from .request import Priority, ProofRequest, Ticket
 from .service import ProofService
-from .stats import ServiceStats
+from .stats import DEGRADATION_LADDER, ServiceStats
 from .workload import (
     ArrivalEvent,
     bursty_trace,
@@ -58,7 +72,29 @@ says whether it was `"proved"`, served from `"cache"`, or `"coalesced"`
 onto an identical in-flight request. Deadlines shape scheduling and are
 *recorded* when missed (`ServiceStats.deadline_misses`); they never drop
 a request. `close(drain=True)` flushes the queue; `close(drain=False)`
-fails pending tickets with `ServiceError`.
+fails pending tickets with `ServiceError`; `close(drain=True,
+timeout=…)` bounds the flush — still-queued requests fail with a
+`drain_timeout` trace event naming them, while batches already in
+flight resolve normally.
+
+**Degradation ladder (S30).** The service reports one of
+`DEGRADATION_LADDER = ("healthy", "scaling", "brownout", "shedding")`
+in `ServiceStats.degradation_state`: *brownout* while the watermark
+hysteresis sheds BULK, *shedding* when the queue is hard-full, and
+*scaling* when an attached `FleetSupervisor` reports the fleet is
+growing. Every `AdmissionError` carries `retry_after_seconds` derived
+from the rung (scaling = retry soon, shedding = back off hard), and
+every rung change emits a `degradation` trace event.
+
+**Fleet serving (S30).** `launch_fleet("serial", initial_nodes=2)`
+spawns a local `NodePool`, builds a (resilient-wrapped)
+`ClusterBackend` over it, and returns a `Fleet` whose
+`supervise(service, model, min_nodes=…, max_nodes=…)` starts the
+shed-or-scale loop: live `arrival_rate_per_second` → `Autoscaler` →
+`FleetActuator`, which grows pool + hash ring together and shrinks via
+unroute → `DRAIN` → terminate so no in-flight proof is lost.
+`find_cluster_backend(backend)` locates the cluster inside any composed
+backend (e.g. what `resolve_backend("resilient:cluster:…")` built).
 
 **Batching knobs (`BatchPolicy`).** Requests group by `circuit_key` so
 every batch is uniform (one prover setup per batch). A group dispatches
@@ -80,7 +116,11 @@ batch releases its claims so a retry can re-prove.
 __all__ = [
     "ArrivalEvent",
     "BatchPolicy",
+    "DEGRADATION_LADDER",
     "DynamicBatcher",
+    "Fleet",
+    "FleetActuator",
+    "FleetSupervisor",
     "Priority",
     "ProofBackend",
     "ProofRequest",
@@ -90,6 +130,8 @@ __all__ = [
     "ServiceStats",
     "Ticket",
     "bursty_trace",
+    "find_cluster_backend",
+    "launch_fleet",
     "poisson_trace",
     "replay",
     "spec_key",

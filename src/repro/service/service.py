@@ -124,6 +124,9 @@ class ProofService:
         self._active_batches = 0
         self._closing = False
         self._shedding = False
+        #: Supervisor hint: the fleet is adding capacity right now (see
+        #: :meth:`note_scaling` and :mod:`repro.service.fleet`).
+        self._scaling = False
         self._next_id = 0
         self._batcher = DynamicBatcher(self, self.policy)
         self._span.emit(
@@ -233,26 +236,90 @@ class ProofService:
     def _admit(self, depth: int, priority: Priority) -> None:
         """Watermark admission control; raises :class:`AdmissionError`."""
         if depth >= self.max_queue:
-            self.stats.record_rejection("queue_full")
+            self._set_degradation_locked("shedding")
+            hint = self.retry_after_hint("shedding")
+            self.stats.record_rejection("queue_full", retry_after=hint)
             self._span.emit(
-                "svc_reject", reason="queue_full", queue_depth=depth
+                "svc_reject", reason="queue_full", queue_depth=depth,
+                retry_after_seconds=hint,
             )
             raise AdmissionError(
-                "queue_full", f"depth {depth} >= max_queue {self.max_queue}"
+                "queue_full", f"depth {depth} >= max_queue {self.max_queue}",
+                retry_after_seconds=hint,
             )
         if self._shedding and depth <= self.low_watermark:
             self._shedding = False
         elif not self._shedding and depth >= self.high_watermark:
             self._shedding = True
+        state = self._derive_degradation_locked(depth)
+        self._set_degradation_locked(state)
         if self._shedding and priority == Priority.BULK:
-            self.stats.record_rejection("bulk_shed")
+            hint = self.retry_after_hint(state)
+            self.stats.record_rejection("bulk_shed", retry_after=hint)
             self._span.emit(
-                "svc_reject", reason="bulk_shed", queue_depth=depth
+                "svc_reject", reason="bulk_shed", queue_depth=depth,
+                retry_after_seconds=hint,
             )
             raise AdmissionError(
                 "bulk_shed",
                 f"depth {depth} >= high watermark {self.high_watermark}",
+                retry_after_seconds=hint,
             )
+
+    # -- degradation ladder ----------------------------------------------------
+
+    def _derive_degradation_locked(self, depth: int) -> str:
+        """Current ladder rung, most degraded condition first."""
+        if depth >= self.max_queue:
+            return "shedding"
+        if self._shedding:
+            return "brownout"
+        if self._scaling:
+            return "scaling"
+        return "healthy"
+
+    def _set_degradation_locked(self, state: str) -> None:
+        previous = self.stats.record_degradation(state)
+        if previous is not None:
+            self._span.emit(
+                "degradation",
+                **{"from": previous, "to": state,
+                   "queue_depth": len(self._pending)},
+            )
+
+    def note_scaling(self, active: bool) -> None:
+        """Supervisor hook: capacity is (or is no longer) being added.
+
+        While active, an otherwise-healthy service reports the
+        ``scaling`` rung — callers seeing a rejection get a short
+        :attr:`~repro.errors.AdmissionError.retry_after_seconds` because
+        the fleet is already growing to absorb them.
+        """
+        with self._cond:
+            self._scaling = bool(active)
+            self._set_degradation_locked(
+                self._derive_degradation_locked(len(self._pending))
+            )
+
+    @property
+    def degradation_state(self) -> str:
+        """Where the service sits on the ladder right now."""
+        return self.stats.degradation_state
+
+    def retry_after_hint(self, state: Optional[str] = None) -> float:
+        """Backoff to suggest with a rejection, scaled by ladder rung.
+
+        The unit is the batcher's wait window (one full batch forms and
+        drains per window under load): *scaling* doubles it because
+        capacity is coming, *brownout* quadruples, *shedding* — the
+        queue is hard-full — pushes callers out eight windows.
+        """
+        state = state or self.stats.degradation_state
+        window = max(self.policy.max_wait_seconds, 0.01)
+        multiplier = {
+            "healthy": 1.0, "scaling": 2.0, "brownout": 4.0, "shedding": 8.0,
+        }.get(state, 4.0)
+        return multiplier * window
 
     def _allocate_id(self) -> int:
         with self._cond:
@@ -468,7 +535,12 @@ class ProofService:
         """Stop admission; by default flush the queue before returning.
 
         With ``drain=False`` still-pending tickets fail with
-        :class:`ServiceError` instead of being proved.
+        :class:`ServiceError` instead of being proved.  With ``drain=True``
+        and a ``timeout``, the drain is *bounded*: requests still queued
+        when it expires fail with :class:`ServiceError` and a
+        ``drain_timeout`` trace event names them — but any batch already
+        in flight keeps running and resolves its tickets normally, so
+        the timeout fails only work that never started.
         """
         with self._cond:
             if self._closing:
@@ -479,19 +551,54 @@ class ProofService:
                 self._pending.clear()
             self._closing = True
             self._cond.notify_all()
-        for request in abandoned:
+        self._fail_undispatched(
+            abandoned, ServiceError("service closed before dispatch")
+        )
+        drained = True
+        if drain and timeout is not None:
+            drained = self.drain(timeout)
+            if not drained:
+                with self._cond:
+                    expired = list(self._pending)
+                    self._pending.clear()
+                    self._cond.notify_all()
+                failed = self._fail_undispatched(
+                    expired,
+                    ServiceError(
+                        f"drain timed out after {timeout:.2f}s "
+                        "before dispatch"
+                    ),
+                )
+                self._span.emit(
+                    "drain_timeout",
+                    timeout_seconds=timeout,
+                    failed=failed,
+                    request_ids=[r.request_id for r in expired],
+                )
+        if self._batcher.is_alive():
+            self._batcher.join(timeout)
+        self._span.emit("svc_close", drained=drain and drained)
+        if self.trace is not None:
+            self.trace.flush()
+
+    def _fail_undispatched(
+        self, requests: List[ProofRequest], error: ServiceError
+    ) -> int:
+        """Fail requests (and their followers) that never reached a batch."""
+        count = 0
+        for request in requests:
             followers = (
                 self.cache.abandon(request.cache_key)
                 if request.cache_key is not None
                 else []
             )
             for ticket in [request.ticket] + followers:
-                ticket._fail(ServiceError("service closed before dispatch"))
-        if self._batcher.is_alive():
-            self._batcher.join(timeout)
-        self._span.emit("svc_close", drained=drain)
-        if self.trace is not None:
-            self.trace.flush()
+                if not ticket.done():
+                    ticket._fail(error)
+                    count += 1
+        if count:
+            self.stats.record_failure(count)
+        return count
 
     def __enter__(self) -> "ProofService":
         return self

@@ -21,6 +21,13 @@ from typing import Dict, List, Optional
 
 from ..stats import percentile
 
+#: The overload degradation ladder, mildest to most degraded.  The
+#: service climbs it as pressure mounts — *scaling* (supervisor is
+#: adding capacity), *brownout* (BULK traffic shed, INTERACTIVE still
+#: admitted), *shedding* (queue full, everything rejected) — and
+#: descends as the queue drains or the fleet catches up.
+DEGRADATION_LADDER = ("healthy", "scaling", "brownout", "shedding")
+
 
 class ServiceStats:
     """Aggregate counters and distributions for one service lifetime."""
@@ -55,6 +62,12 @@ class ServiceStats:
         self.queue_depth_samples: List[int] = []
         #: End-to-end (submit → resolve) seconds per completed request.
         self.latencies: List[float] = []
+        #: Current rung on :data:`DEGRADATION_LADDER`.
+        self.degradation_state: str = "healthy"
+        #: Every ladder transition, in order: ``(from, to)`` pairs.
+        self.degradation_transitions: List[tuple] = []
+        #: Latest retry-after hint handed out per rejection reason.
+        self.retry_hints: Dict[str, float] = {}
         self._first_arrival: Optional[float] = None
         self._last_arrival: Optional[float] = None
 
@@ -71,9 +84,27 @@ class ServiceStats:
         with self._lock:
             self.accepted += 1
 
-    def record_rejection(self, reason: str) -> None:
+    def record_rejection(
+        self, reason: str, retry_after: Optional[float] = None
+    ) -> None:
         with self._lock:
             self.rejections[reason] += 1
+            if retry_after is not None:
+                self.retry_hints[reason] = retry_after
+
+    def record_degradation(self, state: str) -> Optional[str]:
+        """Move to ``state``; returns the previous state on a transition,
+        ``None`` when it was already current (so callers emit one trace
+        event per actual ladder move, not per re-derivation)."""
+        if state not in DEGRADATION_LADDER:
+            raise ValueError(f"unknown degradation state {state!r}")
+        with self._lock:
+            previous = self.degradation_state
+            if state == previous:
+                return None
+            self.degradation_state = state
+            self.degradation_transitions.append((previous, state))
+            return previous
 
     def record_cache_hit(self) -> None:
         with self._lock:
@@ -193,6 +224,14 @@ class ServiceStats:
             ", ".join(f"{r}={n}" for r, n in sorted(self.rejections.items()))
             or "0"
         )
+        with self._lock:
+            hints = dict(self.retry_hints)
+            state = self.degradation_state
+            transitions = len(self.degradation_transitions)
+        if hints:
+            rejections += " (retry after " + ", ".join(
+                f"{r}≤{s:.2f}s" for r, s in sorted(hints.items())
+            ) + ")"
         lines = [
             f"submitted       : {self.submitted} "
             f"({self.arrival_rate_per_second:.1f} req/s)",
@@ -206,6 +245,7 @@ class ServiceStats:
             f"batches         : {len(self.batch_sizes)} "
             f"(mean size {self.mean_batch_size:.1f}; sizes {histo_text})",
             f"queue depth     : max {self.max_queue_depth}",
+            f"degradation     : {state} ({transitions} transitions)",
             f"deadline misses : {self.deadline_misses}",
             f"latency p50     : {self.p50_latency_seconds * 1e3:.1f} ms",
             f"latency p95     : {self.p95_latency_seconds * 1e3:.1f} ms",

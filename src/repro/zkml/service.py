@@ -255,10 +255,12 @@ class MlaasService:
         Every dispatched batch is uniform by construction, so it rides
         the shared-:class:`~repro.runtime.ProverSpec` fast path of
         :meth:`prove_predictions` (with ``workers > 1`` across the
-        process-pool backend, or any explicit ``backend`` selector).
-        Extra keyword arguments (``max_queue``, ``cache_capacity``,
-        ``trace``, …) pass through to
-        :class:`~repro.service.ProofService`.
+        process-pool backend, or any explicit ``backend`` selector —
+        including ``cluster:…`` / ``resilient:cluster:…`` fleet
+        selectors, which are resolved once so their node connections
+        persist across the stream).  Extra keyword arguments
+        (``max_queue``, ``cache_capacity``, ``trace``, …) pass through
+        to :class:`~repro.service.ProofService`.
         """
         from ..service import ProofService
 
@@ -276,6 +278,10 @@ class _PredictionBackend:
     The batcher guarantees every batch shares a circuit key, i.e. a
     shape-uniform input set, so :meth:`MlaasService.prove_predictions`
     takes its one-prover-setup fast path on every dispatch.
+
+    A string ``backend`` selector is resolved *once* here, not per batch:
+    stateful backends (``remote:``/``cluster:`` connections, process
+    pools) must persist across the stream, not reconnect every dispatch.
     """
 
     def __init__(
@@ -284,9 +290,11 @@ class _PredictionBackend:
         workers: int = 1,
         backend: Optional["BackendLike"] = None,
     ):
+        from ..execution import resolve_backend
+
         self.service = service
         self.workers = workers
-        self.backend = backend
+        self.backend = None if backend is None else resolve_backend(backend)
 
     def prove_batch(self, circuit_key, requests) -> List[PredictionResponse]:
         inputs = [request.payload for request in requests]

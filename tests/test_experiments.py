@@ -113,11 +113,11 @@ def test_builtin_catalog_registers_everything():
     for bench in (
         "bench_hotpath", "bench_pipeline", "bench_cluster",
         "bench_resilience", "bench_service", "bench_backends",
-        "bench_parallel_runtime",
+        "bench_parallel_runtime", "bench_fleet",
     ):
         assert bench in names
     assert {s.name for s in select_experiments(suite="chaos")} == {
-        "bench_resilience"
+        "bench_resilience", "bench_fleet"
     }
     for suite in KNOWN_SUITES:
         assert select_experiments(suite=suite)
