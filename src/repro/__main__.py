@@ -105,6 +105,41 @@ def _print_breakdown() -> None:
     print(f"  total vs Bellperson:  {bd['total_speedup_vs_bellperson']:.1f}x")
 
 
+def _fold_lanes(selector, lanes, workers: int):
+    """Fold a ``--lanes`` request into a backend selector string.
+
+    ``--lanes`` alone proves lane groups in process (pooled when
+    ``--workers`` asks for more); combined with a ``pool``/``pipelined``
+    backend it hands that substrate lane-group-sized dispatch units.
+    Other heads have their own composition grammar (e.g.
+    ``resilient:lanes:8``) — spelling it explicitly beats guessing.
+    """
+    if lanes is None:
+        return selector
+    from .execution import AUTO_LANE_WIDTH, lane_selector
+
+    if lanes != "auto":
+        try:
+            lanes = int(lanes)
+        except ValueError:
+            raise SystemExit(
+                f"--lanes wants an integer width or 'auto', got {lanes!r}"
+            ) from None
+    if selector is None:
+        return lane_selector(lanes, workers)
+    if selector == "serial":
+        return lane_selector(lanes, 1)
+    head = selector.split(":", 1)[0].lower()
+    if head in ("pool", "pipelined"):
+        width = AUTO_LANE_WIDTH if lanes == "auto" else lanes
+        return f"lanes:{width}:{selector}"
+    raise SystemExit(
+        f"--lanes composes with 'serial', 'pool', or 'pipelined' "
+        f"backends; for {selector!r} spell the lane selector explicitly "
+        f"(e.g. 'resilient:lanes:8')"
+    )
+
+
 def _run_prove(args) -> int:
     """Generate a real proof batch on an execution backend and report."""
     from .core import ProofTask, SnarkProver, make_pcs, random_circuit
@@ -140,7 +175,7 @@ def _run_prove(args) -> int:
         assert variant.r1cs.digest() == cc.r1cs.digest()
         tasks.append(ProofTask(i, variant.witness, variant.public_values))
     trace = JsonlTraceSink(args.trace) if args.trace else None
-    selector = args.backend
+    selector = _fold_lanes(args.backend, args.lanes, args.workers)
     if selector is None:
         selector = "serial" if args.workers == 1 else f"pool:{args.workers}"
     backend = resolve_backend(selector)
@@ -244,10 +279,11 @@ def _run_serve(args) -> int:
     sink = JsonlTraceSink(args.trace) if args.trace else None
     fleet = None
     if args.fleet:
-        if args.backend:
+        if args.backend or args.lanes:
             print(
-                "error: --fleet and --backend are mutually exclusive "
-                "(--fleet builds the cluster backend itself)",
+                "error: --fleet is mutually exclusive with --backend and "
+                "--lanes (--fleet builds the cluster backend itself; give "
+                "its nodes a lanes selector via --fleet lanes:8 instead)",
                 file=sys.stderr,
             )
             if sink is not None:
@@ -265,7 +301,9 @@ def _run_serve(args) -> int:
         )
     else:
         backend = RuntimeProofBackend.from_specs(
-            specs, workers=args.workers, backend=args.backend
+            specs,
+            workers=args.workers,
+            backend=_fold_lanes(args.backend, args.lanes, args.workers),
         )
     injector = None
     if args.fault_plan:
@@ -512,6 +550,14 @@ def main(argv=None) -> int:
         help="execution backend for `prove` / `serve`, e.g. 'serial', "
         "'pool:4', 'pipelined:4', 'sharded:pool:2,pool:2' (default: "
         "derived from --workers)",
+    )
+    parser.add_argument(
+        "--lanes",
+        default=None,
+        metavar="N|auto",
+        help="prove same-circuit tasks in fused lane groups of this "
+        "width (S31); composes with --workers and with 'serial'/'pool'/"
+        "'pipelined' --backend selectors",
     )
     parser.add_argument(
         "--tasks",

@@ -95,18 +95,30 @@ class BridgeProver:
         #: :class:`~repro.runtime.RuntimeStats` of the most recent
         #: :meth:`prove_batch` run (None before the first batch).
         self.last_runtime_stats: Optional["RuntimeStats"] = None
-        # Cached per-circuit spec and per-worker-count execution backends
-        # (every well-formed transaction shares one circuit structure).
+        # Cached per-circuit spec and per-(workers, lanes) execution
+        # backends (every well-formed transaction shares one circuit
+        # structure).
         self._specs: Dict[bytes, "ProverSpec"] = {}
-        self._backends: Dict[int, "ProvingBackend"] = {}
+        self._backends: Dict[tuple, "ProvingBackend"] = {}
 
-    def _execution_backend(self, workers: int) -> "ProvingBackend":
-        from ..execution import PoolBackend, SerialBackend
+    def _execution_backend(self, workers: int, lanes=None) -> "ProvingBackend":
+        from ..execution import (
+            PoolBackend,
+            SerialBackend,
+            lane_selector,
+            resolve_backend,
+        )
 
-        backend = self._backends.get(workers)
+        key = (workers, lanes)
+        backend = self._backends.get(key)
         if backend is None:
-            backend = SerialBackend() if workers == 1 else PoolBackend(workers)
-            self._backends[workers] = backend
+            if lanes is not None:
+                backend = resolve_backend(lane_selector(lanes, workers))
+            elif workers == 1:
+                backend = SerialBackend()
+            else:
+                backend = PoolBackend(workers)
+            self._backends[key] = backend
         return backend
 
     def _build_circuit(self, tx: Transaction) -> CompiledCircuit:
@@ -155,6 +167,7 @@ class BridgeProver:
         txs: Sequence[Transaction],
         workers: int = 1,
         backend: Optional["BackendLike"] = None,
+        lanes=None,
     ) -> List[Tuple[CompiledCircuit, "SnarkProof"]]:
         """Prove a stream of transactions, optionally across worker processes.
 
@@ -168,6 +181,11 @@ class BridgeProver:
         well-formed transaction cannot produce) degrades the batch to
         serial per-transaction proving.  The backend's report lands in
         :attr:`last_runtime_stats`.
+
+        ``lanes`` (an integer width or ``"auto"``) routes a
+        digest-uniform batch through the lane-vectorized S31 path; the
+        non-uniform fallback ignores it, and an explicit ``backend``
+        wins over ``lanes``.
         """
         from ..execution import resolve_backend
         from ..runtime import ProverSpec
@@ -196,7 +214,7 @@ class BridgeProver:
             )
             self._specs[reference_digest] = spec
         resolved = (
-            self._execution_backend(workers)
+            self._execution_backend(workers, lanes)
             if backend is None
             else resolve_backend(backend)
         )

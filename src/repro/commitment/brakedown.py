@@ -51,9 +51,11 @@ from ..hashing.transcript import Transcript
 from ..kernels.field_kernels import combine_rows, pack_vector
 from ..kernels.profile import stage as _stage
 from ..kernels.spec_cache import cached_encoder
+from ..kernels.field_kernels import eq_table_lanes
+from ..field import fast61 as _f61
 from ..merkle.multiproof import MerkleMultiProof, open_multi
 from ..merkle.proof import MerklePath
-from ..merkle.tree import MerkleTree
+from ..merkle.tree import MerkleTree, build_forest
 from ..encoder.spielman import EncoderParams
 
 DEFAULT_COLUMN_CHECKS = 24
@@ -119,6 +121,27 @@ class EncodedRows:
     matrix: List[List[int]]  # R×C coefficient matrix
     encoded: List[List[int]]  # R×(qC) codeword matrix U
     codewords: Optional["np.ndarray"] = None  # fast-path uint64 view of U
+
+
+@dataclass
+class LanedState:
+    """Prover state for a lane-group commit (S31).
+
+    The per-lane coefficient and codeword matrices stay stacked as
+    ``uint64`` arrays (``[L, R, C]`` / ``[L, R, Q]``) so the open stage
+    can combine rows for every lane in one kernel dispatch; only the
+    Merkle trees are per-lane objects (their roots differ, which is
+    where the lanes' transcripts — and all later challenges — diverge).
+    """
+
+    matrices: "np.ndarray"   # [L, R, C] coefficient matrices
+    codewords: "np.ndarray"  # [L, R, Q] codeword matrices
+    trees: List[MerkleTree]
+    params: PcsParams
+
+    @property
+    def lanes(self) -> int:
+        return len(self.trees)
 
 
 @dataclass(frozen=True)
@@ -299,6 +322,83 @@ class BrakedownPCS:
             and self.params.num_rows >= 2
         )
 
+    # -- laned commit/open (S31) ----------------------------------------------
+
+    def encode_rows_lanes(self, evals_lanes: "np.ndarray") -> Tuple["np.ndarray", "np.ndarray"]:
+        """Encode ``L`` lanes' evaluation tables in one batched SpMV sweep.
+
+        ``evals_lanes`` is ``[L, 2^num_vars]`` uint64; the lanes' row
+        matrices are stacked to ``(L·R, C)`` so each encoder stage runs
+        once for the whole lane-group.  Row-independence of the encoder
+        makes the stacked pass bit-identical to encoding each lane alone.
+        Returns ``(matrices [L, R, C], codewords [L, R, Q])``.
+        """
+        params = self.params
+        if not self._fast_path():
+            raise CommitmentError("encode_rows_lanes requires the fast61 path")
+        evals_lanes = np.asarray(evals_lanes, dtype=np.uint64)
+        expected = 1 << params.num_vars
+        if evals_lanes.ndim != 2 or evals_lanes.shape[1] != expected:
+            raise CommitmentError(
+                f"lane evals shape {evals_lanes.shape} != (L, {expected})"
+            )
+        lanes = evals_lanes.shape[0]
+        rows, cols = params.num_rows, params.num_cols
+        matrices = evals_lanes.reshape(lanes, rows, cols)
+        with _stage("encode"):
+            flat = self.encoder._encode_batch61(
+                matrices.reshape(lanes * rows, cols)
+            )
+            codewords = flat.reshape(lanes, rows, flat.shape[1])
+        return matrices, codewords
+
+    def commit_encoded_lanes(
+        self, matrices: "np.ndarray", codewords: "np.ndarray"
+    ) -> Tuple[List[Commitment], LanedState]:
+        """The Merkle half of a lane-group commit: one forest, one pass.
+
+        All lanes' column blocks are packed from the stacked codeword
+        array and leaf-hashed with a single :meth:`Hasher.hash_many`
+        call; :func:`~repro.merkle.tree.build_forest` then compresses
+        every lane's tree level in one batched dispatch per level.
+        """
+        params = self.params
+        lanes, rows, q_len = codewords.shape
+        with _stage("merkle"):
+            # [L, Q, R] → every lane's column-major bytes, one tobytes().
+            raw = (
+                np.ascontiguousarray(codewords.transpose(0, 2, 1))
+                .astype("<u8", copy=False)
+                .tobytes()
+            )
+            stride = 8 * rows
+            blocks = [
+                raw[i * stride : (i + 1) * stride] for i in range(lanes * q_len)
+            ]
+            leaves = self.hasher.hash_many(blocks)
+            trees = build_forest(
+                [leaves[lane * q_len : (lane + 1) * q_len] for lane in range(lanes)],
+                self.hasher,
+            )
+        commitments = [Commitment(root=tree.root, params=params) for tree in trees]
+        return commitments, LanedState(
+            matrices=matrices, codewords=codewords, trees=trees, params=params
+        )
+
+    def lane_state(self, state: LanedState, lane: int) -> ProverState:
+        """Materialize one lane of a :class:`LanedState` as a scalar state.
+
+        Used when a single lane's proof must be re-driven through the
+        per-proof path (retries, diagnostics); the int conversion is
+        paid only then.
+        """
+        return ProverState(
+            matrix=state.matrices[lane].tolist(),
+            encoded=state.codewords[lane].tolist(),
+            tree=state.trees[lane],
+            params=state.params,
+        )
+
     # -- evaluation -----------------------------------------------------------------
 
     def _split_point(self, point: Sequence[int]) -> Tuple[List[int], List[int]]:
@@ -319,6 +419,21 @@ class BrakedownPCS:
         q_row = eq_table(self.field, z_hi)
         combined = combine_rows(self.field, state.matrix, q_row)
         return self.field.dot(combined, q_col)
+
+    def evaluate_lanes(
+        self, state: LanedState, points: Sequence[Sequence[int]]
+    ) -> List[int]:
+        """Honest per-lane evaluations at per-lane points, one kernel pass.
+
+        Value-identical to calling :meth:`evaluate` per lane (all fast61
+        arithmetic is exact), with the row combination and final dot
+        product batched across the lane-group.
+        """
+        splits = [self._split_point(point) for point in points]
+        q_cols = eq_table_lanes(self.field, [lo for lo, _ in splits])
+        q_rows = eq_table_lanes(self.field, [hi for _, hi in splits])
+        combined = combine_rows(self.field, state.matrices, q_rows)
+        return [int(v) for v in _f61.f61_rows_dot(combined, q_cols)]
 
     # -- open -------------------------------------------------------------------------
 
@@ -373,6 +488,83 @@ class BrakedownPCS:
             columns=columns,
             multiproof=multiproof,
         )
+
+    def open_lanes(
+        self,
+        state: LanedState,
+        points: Sequence[Sequence[int]],
+        transcripts: Sequence[Transcript],
+    ) -> List[EvalProof]:
+        """Produce one evaluation proof per lane, row math batched.
+
+        Each lane keeps its own transcript (roots differ, so challenges
+        differ lane-for-lane), but the two row combinations — the only
+        O(R·C) work — run once for the whole group.  The emitted proofs
+        are byte-identical to per-lane :meth:`open` calls.
+        """
+        params = state.params
+        field = self.field
+        lanes = state.lanes
+        splits = [self._split_point(point) for point in points]
+        for lane in range(lanes):
+            transcripts[lane].absorb_bytes(b"pcs/root", state.trees[lane].root)
+            transcripts[lane].absorb_field_vector(
+                b"pcs/point", field, list(points[lane])
+            )
+
+        r_lanes = np.asarray(
+            [
+                transcripts[lane].challenge_field_vector(
+                    b"pcs/proximity", field, params.num_rows
+                )
+                for lane in range(lanes)
+            ],
+            dtype=np.uint64,
+        )
+        proximity_rows = combine_rows(field, state.matrices, r_lanes)
+        prox_lists = [[int(v) for v in row] for row in proximity_rows]
+        for lane in range(lanes):
+            transcripts[lane].absorb_field_vector(
+                b"pcs/prox-row", field, prox_lists[lane]
+            )
+
+        q_rows = eq_table_lanes(field, [hi for _, hi in splits])
+        evaluation_rows = combine_rows(field, state.matrices, q_rows)
+        eval_lists = [[int(v) for v in row] for row in evaluation_rows]
+        for lane in range(lanes):
+            transcripts[lane].absorb_field_vector(
+                b"pcs/eval-row", field, eval_lists[lane]
+            )
+
+        proofs = []
+        for lane in range(lanes):
+            indices = transcripts[lane].challenge_indices(
+                b"pcs/columns", params.codeword_length, params.num_col_checks
+            )
+            opened = sorted(set(indices))
+            col_values = state.codewords[lane][:, opened].T.tolist()
+            tree = state.trees[lane]
+            if params.compress_openings:
+                columns = [
+                    ColumnOpening(index=j, values=values, path=None)
+                    for j, values in zip(opened, col_values)
+                ]
+                multiproof = open_multi(tree, opened)
+            else:
+                columns = [
+                    ColumnOpening(index=j, values=values, path=tree.open(j))
+                    for j, values in zip(opened, col_values)
+                ]
+                multiproof = None
+            proofs.append(
+                EvalProof(
+                    proximity_row=prox_lists[lane],
+                    evaluation_row=eval_lists[lane],
+                    columns=columns,
+                    multiproof=multiproof,
+                )
+            )
+        return proofs
 
     # -- verify ---------------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from .circuit import (
     random_circuit,
 )
 from .constraint import ConstraintSumcheckProver
+from .lanes import LanedProof
 from .gadgets import (
     abs_value,
     assert_in_range,
@@ -56,6 +57,7 @@ __all__ = [
     "ConstraintSumcheckProver",
     "SnarkProver",
     "StagedProof",
+    "LanedProof",
     "PIPELINE_STAGES",
     "SnarkVerifier",
     "make_pcs",

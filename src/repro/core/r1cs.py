@@ -176,6 +176,19 @@ class R1CS:
             self._matvec(self.c_rows, padded),
         )
 
+    def matvec_tables_lanes(self, z_lanes) -> Tuple[object, object, object]:
+        """Laned matvec: ``[L, padded_vars] → three [L, padded_constraints]``.
+
+        One batched SpMV per matrix pushes every lane's witness through
+        the edge set together (S31).  Requires the vectorised Mersenne-61
+        path; callers gate on :meth:`_use_f61` before building lanes.
+        """
+        if not self._use_f61():
+            raise CircuitError("matvec_tables_lanes requires the fast61 path")
+        x = _f61.as_f61(z_lanes)
+        op_a, op_b, op_c = self._f61_ops(transpose=False)
+        return (op_a.apply_batch(x), op_b.apply_batch(x), op_c.apply_batch(x))
+
     def is_satisfied(self, z: Sequence[int]) -> bool:
         p = self.field.modulus
         az, bz, cz = self.matvec_tables(z)
@@ -243,6 +256,39 @@ class R1CS:
                 for j, v in row:
                     out[j] = (out[j] + scale * v) % p
         return out
+
+    def combined_row_table_lanes(
+        self,
+        eq_lanes,
+        coeffs_a: Sequence[int],
+        coeffs_b: Sequence[int],
+        coeffs_c: Sequence[int],
+    ):
+        """Laned :meth:`combined_row_table`: per-lane eq-tables/coefficients.
+
+        ``eq_lanes`` is ``[L, padded_constraints]``; each coefficient
+        sequence holds one batching challenge per lane.  Returns a
+        ``[L, padded_vars]`` array.  A zero coefficient contributes a
+        zero row through the edge set, so (unlike the scalar path's
+        skip) no lane-dependent branching is needed — the result is
+        identical value-for-value.
+        """
+        if not self._use_f61():
+            raise CircuitError("combined_row_table_lanes requires the fast61 path")
+        p = self.field.modulus
+        eq_arr = _f61.as_f61(eq_lanes)
+        if eq_arr.ndim != 2 or eq_arr.shape[1] != self.padded_constraints:
+            raise CircuitError(
+                f"eq_lanes shape {eq_arr.shape} != (L, {self.padded_constraints})"
+            )
+        total = None
+        for coeffs, op in zip(
+            (coeffs_a, coeffs_b, coeffs_c), self._f61_ops(transpose=True)
+        ):
+            c_col = _f61.as_f61([c % p for c in coeffs])[:, None]
+            part = op.apply_batch(_f61.f61_mul(eq_arr, c_col))
+            total = part if total is None else _f61.f61_add(total, part)
+        return total
 
     def mle_eval(
         self, rows: List[SparseRow], eq_x: Sequence[int], eq_y: Sequence[int]

@@ -25,6 +25,12 @@ from .backend import (
     SerialBackend,
     ShardedBackend,
 )
+from .laned import (
+    AUTO_LANE_WIDTH,
+    LanedBackend,
+    lane_selector,
+    resolve_lane_width,
+)
 from .pipelined import PipelinedBackend, StageGroup, plan_stage_workers
 from .registry import (
     available_backends,
@@ -56,6 +62,9 @@ proof service inherit the service's sink and batch span automatically.
 
 **Selector strings.** `resolve_backend("serial")` proves inline;
 `"pool"`/`"pool:8"` shard across a process pool;
+`"lanes:64"`/`"lanes:auto"` prove same-circuit tasks in fused numpy
+lane groups (S31; `"lanes:16:pool:4"` / `"lanes:16:pipelined:4"` give a
+parallel substrate lane-group-sized dispatch units);
 `"sharded:pool:4,pool:4"` splits each batch across concurrent children
 proportionally to their parallelism (largest-remainder rounding — the
 same placement arithmetic as the multi-GPU farm simulator).  Instances
@@ -72,6 +81,8 @@ terminal.
 """
 
 __all__ = [
+    "AUTO_LANE_WIDTH",
+    "LanedBackend",
     "PipelinedBackend",
     "PoolBackend",
     "ProvingBackend",
@@ -82,6 +93,7 @@ __all__ = [
     "StageGroup",
     "available_backends",
     "format_lineage",
+    "lane_selector",
     "largest_remainder_shares",
     "lineage_of",
     "plan_stage_workers",
@@ -89,6 +101,7 @@ __all__ = [
     "register_backend",
     "request_lineage",
     "resolve_backend",
+    "resolve_lane_width",
     "span_index",
     "stage_breakdown",
     "stage_breakdown_of",

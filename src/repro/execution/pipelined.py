@@ -131,21 +131,39 @@ StageGroup(stages=('sumcheck', 'open'), workers=1)]
 
 
 class _Unit:
-    """One task travelling the pipeline: its staged proof plus bookkeeping."""
+    """One pipeline traveller: a task — or a lane group of tasks (S31).
+
+    A unit owns a staged machine (:class:`StagedProof` for a single
+    task, :class:`~repro.core.lanes.LanedProof` for a group — the two
+    share the checkpoint interface) plus retry/profiling bookkeeping.
+    Stage events are emitted on the *lead* task's span; completion
+    records fan out per lane.
+    """
 
     __slots__ = (
-        "index", "task", "staged", "attempt", "profile",
+        "indices", "tasks", "staged", "attempt", "profile",
         "submitted", "prove_seconds",
     )
 
-    def __init__(self, index: int, task: ProofTask, staged: StagedProof):
-        self.index = index
-        self.task = task
+    def __init__(
+        self, indices: List[int], tasks: List[ProofTask], staged
+    ):
+        self.indices = indices
+        self.tasks = tasks
         self.staged = staged
         self.attempt = 1
         self.profile = StageProfile()
         self.submitted = time.perf_counter()
         self.prove_seconds = 0.0
+
+    @property
+    def task(self) -> ProofTask:
+        """The lead task — the span stage events hang off."""
+        return self.tasks[0]
+
+    @property
+    def laned(self) -> bool:
+        return len(self.tasks) > 1
 
 
 _SENTINEL = object()
@@ -175,6 +193,7 @@ class PipelinedBackend:
         retry_backoff_seconds: float = 0.05,
         fault_injector=None,
         warmup_tasks: int = 2,
+        lane_width: Optional[int] = None,
     ) -> None:
         auto = workers in (None, "auto")
         if auto:
@@ -193,6 +212,11 @@ class PipelinedBackend:
             raise ExecutionError(
                 f"warmup_tasks must be >= 1, got {warmup_tasks}"
             )
+        if lane_width is not None and lane_width < 1:
+            raise ExecutionError(
+                f"lane_width must be >= 1, got {lane_width}"
+            )
+        self.lane_width = lane_width
         self.workers = resolved
         self.parallelism = resolved
         self.name = "pipelined:auto" if auto else f"pipelined:{resolved}"
@@ -377,35 +401,52 @@ class PipelinedBackend:
             return ctx.child("task", span=f"{ctx.span}/t{task_id}")
 
         def finalize(unit: _Unit) -> None:
-            proof = unit.staged.proof
+            # A laned unit fans out per-lane proofs and amortizes its
+            # wall time and stage buckets uniformly over the lanes, so
+            # each record still satisfies the S27 stage invariant.
+            n_real = len(unit.tasks)
+            if unit.laned:
+                unit_proofs = list(unit.staged.proofs)[:n_real]
+            else:
+                unit_proofs = [unit.staged.proof]
             if corrupt is not None:
-                proof = corrupt(proof, unit.task.task_id)
+                unit_proofs = [
+                    corrupt(proof, task.task_id)
+                    for proof, task in zip(unit_proofs, unit.tasks)
+                ]
+            per_seconds = unit.prove_seconds / n_real
             stages = unit.profile.as_dict()
+            stages = {k: v / n_real for k, v in stages.items()}
+            latency = time.perf_counter() - unit.submitted
             with lock:
                 stats.busy_seconds += unit.prove_seconds
-                stats.records.append(
-                    TaskRecord(
-                        task_id=unit.task.task_id,
-                        attempts=unit.attempt,
-                        prove_seconds=unit.prove_seconds,
-                        latency_seconds=time.perf_counter() - unit.submitted,
-                        worker=None,
-                        stage_seconds=stages or None,
+                for index, task, proof in zip(
+                    unit.indices, unit.tasks, unit_proofs
+                ):
+                    stats.records.append(
+                        TaskRecord(
+                            task_id=task.task_id,
+                            attempts=unit.attempt,
+                            prove_seconds=per_seconds,
+                            latency_seconds=latency,
+                            worker=None,
+                            stage_seconds=stages or None,
+                        )
                     )
-                )
-                proofs[unit.index] = proof
-                pending[0] -= 1
+                    proofs[index] = proof
+                pending[0] -= n_real
                 finished = pending[0] == 0
-            tctx = task_ctx_for(unit.task.task_id)
-            tctx.emit(
-                "complete", task_id=unit.task.task_id, attempt=unit.attempt,
-                seconds=unit.prove_seconds,
-            )
-            if stages:
+            for task in unit.tasks:
+                tctx = task_ctx_for(task.task_id)
                 tctx.emit(
-                    "stage_timing", task_id=unit.task.task_id,
-                    seconds=unit.prove_seconds, stages=stages,
+                    "complete", task_id=task.task_id, attempt=unit.attempt,
+                    seconds=per_seconds,
                 )
+                if stages:
+                    tctx.emit(
+                        "stage_timing", task_id=task.task_id,
+                        seconds=per_seconds, stages=stages,
+                    )
             if finished:
                 done.set()
 
@@ -433,9 +474,15 @@ class PipelinedBackend:
             # A retry restarts the whole proof: fresh staged machine,
             # fresh profile, back to the head of the pipeline.
             unit.attempt += 1
-            unit.staged = prover.begin_proof(
-                unit.task.witness, unit.task.public_values
-            )
+            if unit.laned:
+                unit.staged = prover.begin_lanes(
+                    [t.witness for t in unit.tasks],
+                    [t.public_values for t in unit.tasks],
+                )
+            else:
+                unit.staged = prover.begin_proof(
+                    unit.task.witness, unit.task.public_values
+                )
             unit.profile = StageProfile()
             unit.prove_seconds = 0.0
             tctx.emit(
@@ -461,7 +508,8 @@ class PipelinedBackend:
                             # stages this group doesn't own this pass.
                             continue
                         if name == PIPELINE_STAGES[0] and injector is not None:
-                            injector(unit.task.task_id, unit.attempt)
+                            for lane_task in unit.tasks:
+                                injector(lane_task.task_id, unit.attempt)
                         tctx.emit(
                             "stage_start", task_id=unit.task.task_id,
                             stage=name, attempt=unit.attempt,
@@ -502,13 +550,22 @@ class PipelinedBackend:
                 t.start()
                 threads.append(t)
 
-        for index in range(warmed, len(tasks)):
-            task = tasks[index]
-            unit = _Unit(index, task, prover.begin_proof(
-                task.witness, task.public_values
-            ))
-            task_ctx_for(task.task_id).emit(
-                "stage_enqueue", task_id=task.task_id,
+        width = self.lane_width or 1
+        for lo in range(warmed, len(tasks), width):
+            indices = list(range(lo, min(lo + width, len(tasks))))
+            group = [tasks[i] for i in indices]
+            if len(group) > 1:
+                staged = prover.begin_lanes(
+                    [t.witness for t in group],
+                    [t.public_values for t in group],
+                )
+            else:
+                staged = prover.begin_proof(
+                    group[0].witness, group[0].public_values
+                )
+            unit = _Unit(indices, group, staged)
+            task_ctx_for(group[0].task_id).emit(
+                "stage_enqueue", task_id=group[0].task_id,
                 stage=PIPELINE_STAGES[0], attempt=1,
             )
             with lock:

@@ -7,6 +7,12 @@ code::
     serial                      in-process, one cached prover
     pool                        process pool sized to the host
     pool:8                      process pool, 8 workers
+    lanes:64                    lane-vectorized: 64 same-circuit tasks
+                                proved per fused numpy dispatch (S31)
+    lanes:auto                  lane width sized from the batch
+    lanes:16:pool:4             4-worker pool, each dispatch proving a
+                                16-lane group
+    lanes:16:pipelined:4        stage-pipelined over 16-lane groups
     pipelined:4                 stage-pipelined threads, 4 workers
     pipelined:auto              stage-pipelined, sized from the host
     sharded:pool:4,pool:4       two concurrent 4-worker pools
@@ -150,6 +156,49 @@ def _make_pipelined(rest: str) -> ProvingBackend:
     return PipelinedBackend(workers)
 
 
+def _make_lanes(rest: str) -> ProvingBackend:
+    # Imported lazily for symmetry with the other optional substrates.
+    from .laned import LanedBackend
+
+    if not rest or rest == "auto":
+        return LanedBackend("auto")
+    head, _, inner = rest.partition(":")
+    try:
+        width = int(head)
+    except ValueError:
+        raise ExecutionError(
+            f"'lanes' wants an integer lane width or 'auto', got {head!r}"
+        ) from None
+    if width < 1:
+        raise ExecutionError(f"lane width must be >= 1, got {width}")
+    if not inner:
+        return LanedBackend(width)
+    # Composition: 'lanes:W:pool:N' / 'lanes:W:pipelined:N' hand the
+    # inner substrate lane-group-sized dispatch units.
+    inner_head = inner.split(":", 1)[0].strip().lower()
+    backend: ProvingBackend
+    if inner_head == "pool":
+        backend = _make_pool(inner.partition(":")[2].strip())
+        backend.runtime_options["lane_width"] = width
+        backend.runtime_options.setdefault("chunk_size", width)
+    elif inner_head == "pipelined":
+        from .pipelined import PipelinedBackend
+
+        arg = inner.partition(":")[2].strip()
+        backend = (
+            PipelinedBackend("auto", lane_width=width)
+            if not arg or arg == "auto"
+            else PipelinedBackend(int(arg), lane_width=width)
+        )
+    else:
+        raise ExecutionError(
+            f"'lanes:{width}:' composes with 'pool' or 'pipelined', "
+            f"got {inner!r}"
+        )
+    backend.name = f"lanes:{width}:{inner}"
+    return backend
+
+
 def _make_resilient(rest: str) -> ProvingBackend:
     # Imported lazily: repro.resilience imports this package for the
     # backend protocol, so a module-level import would be a cycle.
@@ -200,6 +249,7 @@ def _make_cluster(rest: str) -> ProvingBackend:
 register_backend("serial", _make_serial)
 register_backend("pool", _make_pool)
 register_backend("pipelined", _make_pipelined)
+register_backend("lanes", _make_lanes)
 register_backend("sharded", _make_sharded)
 register_backend("resilient", _make_resilient)
 register_backend("remote", _make_remote)

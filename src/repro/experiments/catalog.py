@@ -238,6 +238,25 @@ _EXTENSION_SPECS = [
         quick_params={"gates": 1024, "reps": 2},
     ),
     ExperimentSpec(
+        name="bench_lanes",
+        description="S31 lane-vectorized prover vs serial on one "
+        "same-circuit batch",
+        runner=lambda params: benches.run_lanes(**params),
+        tags=("extension", "ci"),
+        guards=(
+            Guard(
+                name="lane_speedup",
+                metric="lane_speedup",
+                op=">=",
+                threshold=2.0,
+                description="lane-vectorized proving must beat serial by "
+                "≥2x at 256 gates × 64 lanes",
+            ),
+        ),
+        full_params={"gates": 256, "lanes": 64, "reps": 3},
+        quick_params={"gates": 256, "lanes": 64, "reps": 2},
+    ),
+    ExperimentSpec(
         name="bench_pipeline",
         description="S27 stage-pipelined executor vs pool vs serial sweep",
         runner=lambda params: benches.run_pipeline_sweep(**params),

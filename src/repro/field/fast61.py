@@ -106,15 +106,35 @@ def f61_sum(a: np.ndarray) -> int:
     return (lo + (hi << 32)) % _P61_INT
 
 
+def f61_axis_sum(a: np.ndarray, axis: int) -> np.ndarray:
+    """Exact reduction of a residue array along one axis, mod p.
+
+    Low/high 32-bit limbs are summed separately (exact for up to 2^29
+    summed elements) and recombined with ``2^32`` folded through
+    ``f61_mul`` — the n-d generalisation of :func:`f61_columns_sum`.
+    """
+    lo = (a & _M32).sum(axis=axis, dtype=np.uint64)
+    hi = (a >> _S32).sum(axis=axis, dtype=np.uint64)
+    return f61_reduce(f61_reduce(lo) + f61_mul(hi, np.uint64(1 << 32)))
+
+
 def f61_columns_sum(a: np.ndarray) -> np.ndarray:
     """Exact per-column sum of a 2-D residue matrix, reduced mod p.
 
     Low/high 32-bit limbs are summed separately (exact for up to 2^29
     rows) and recombined with ``2^32`` folded through ``f61_mul``.
     """
-    lo = (a & _M32).sum(axis=0, dtype=np.uint64)
-    hi = (a >> _S32).sum(axis=0, dtype=np.uint64)
-    return f61_reduce(f61_reduce(lo) + f61_mul(hi, np.uint64(1 << 32)))
+    return f61_axis_sum(a, axis=0)
+
+
+def f61_rows_sum(a: np.ndarray) -> np.ndarray:
+    """Exact per-lane sum over the *last* axis, reduced mod p.
+
+    ``[lanes, n] → [lanes]`` — the lane-vectorised counterpart of
+    :func:`f61_sum`, used by the sum-check round kernels to produce one
+    round evaluation per proof lane from a single numpy pass.
+    """
+    return f61_axis_sum(a, axis=-1)
 
 
 def f61_dot(a: np.ndarray, b: np.ndarray) -> int:
@@ -122,6 +142,13 @@ def f61_dot(a: np.ndarray, b: np.ndarray) -> int:
     if a.shape != b.shape:
         raise FieldError(f"dot shape mismatch: {a.shape} vs {b.shape}")
     return f61_sum(f61_mul(a, b))
+
+
+def f61_rows_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-lane inner products: ``[lanes, n] · [lanes, n] → [lanes]``."""
+    if a.shape != b.shape:
+        raise FieldError(f"dot shape mismatch: {a.shape} vs {b.shape}")
+    return f61_rows_sum(f61_mul(a, b))
 
 
 class F61SpMV:
@@ -195,6 +222,19 @@ class F61SpMV:
         seg = f61_reduce(f61_reduce(lo) + f61_mul(hi, np.uint64(1 << 32)))
         y[:, self._dst] = seg
         return y
+
+    def apply_lanes(self, x: np.ndarray) -> np.ndarray:
+        """Apply to a lane-batched stack: ``(L, R, n_in) → (L, R, n_out)``.
+
+        Lanes are independent rows of one flattened batch, so ``L``
+        proofs' worth of encoder rows go through a single gather /
+        multiply / segment-sum dispatch — the lane-vectorised commit.
+        """
+        if x.ndim != 3 or x.shape[2] != self.n_in:
+            raise FieldError(f"lane batch shape {x.shape} != (L, R, {self.n_in})")
+        lanes, rows = x.shape[0], x.shape[1]
+        flat = self.apply_batch(x.reshape(lanes * rows, self.n_in))
+        return flat.reshape(lanes, rows, self.n_out)
 
     def apply_list(self, x: Sequence[int]) -> List[int]:
         """List-in/list-out convenience wrapper."""

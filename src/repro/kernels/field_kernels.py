@@ -46,6 +46,7 @@ __all__ = [
     "fold_table",
     "fold_product_tables",
     "eq_table",
+    "eq_table_lanes",
     "combine_rows",
     "spmv",
     "product_round_quadratic",
@@ -69,12 +70,59 @@ def _np_ok(field: "PrimeField", n: int) -> bool:
     return _f61 is not None and n >= _NP_MIN and field.modulus == _f61._P61_INT
 
 
+# -- lane dimension (S31) -----------------------------------------------------
+#
+# The hot-path kernels additionally accept *laned* inputs: a uint64 array
+# of shape ``[lanes, n]`` holding the same table for ``lanes`` independent
+# proofs of one circuit.  One ufunc dispatch then advances every lane at
+# once, which is what amortizes numpy's fixed per-call cost across a
+# whole batch of same-circuit instances.  Lane detection is structural
+# (``ndim``), so it must run *before* any ``len()``/truthiness logic that
+# assumes a flat table.
+
+
+def _is_lanes(x: object, ndim: int = 2) -> bool:
+    """True when ``x`` is a lane-batched ndarray of rank ``ndim``."""
+    return _np is not None and isinstance(x, _np.ndarray) and x.ndim == ndim
+
+
+def _lane_challenges(r: object, lanes: int, p: int) -> List[int]:
+    """Normalize a scalar-or-per-lane challenge to ``lanes`` reduced ints.
+
+    Laned sum-checks draw an independent Fiat–Shamir challenge per lane
+    (transcripts diverge after the commitment roots), so folds take a
+    vector of challenges; a scalar is broadcast for convenience.
+    """
+    if isinstance(r, (list, tuple)):
+        rs = [int(v) % p for v in r]
+    elif _np is not None and isinstance(r, _np.ndarray):
+        rs = [int(v) % p for v in r.tolist()]
+    else:
+        rs = [int(r) % p] * lanes
+    if len(rs) != lanes:
+        raise ValueError(f"{len(rs)} challenges for {lanes} lanes")
+    return rs
+
+
 # -- sum-check folds ---------------------------------------------------------
 
 
 def _reference_fold_table(field: PrimeField, table: Sequence[int], r: int) -> List[int]:
-    """Naive fold: ``A[b] ← A[b] + r·(A[b+half] − A[b])`` by index."""
+    """Naive fold: ``A[b] ← A[b] + r·(A[b+half] − A[b])`` by index.
+
+    A ``[lanes, n]`` array folds each lane at its own challenge (``r``
+    may be per-lane), returning a ``[lanes, n//2]`` array.
+    """
     p = field.modulus
+    if _is_lanes(table):
+        rs = _lane_challenges(r, table.shape[0], p)
+        return _np.asarray(
+            [
+                _reference_fold_table(field, [int(v) for v in lane], ri)
+                for lane, ri in zip(table, rs)
+            ],
+            dtype=_np.uint64,
+        )
     r %= p
     half = len(table) // 2
     return [(table[b] + r * (table[b + half] - table[b])) % p for b in range(half)]
@@ -85,10 +133,20 @@ def fold_table(field: PrimeField, table: Sequence[int], r: int) -> List[int]:
 
     Pairs entry ``b`` with ``b + half`` — the most-significant live
     variable is bound, matching every sum-check prover in the repo.
+    Laned form: a ``[lanes, n]`` array with a per-lane challenge vector
+    folds every lane in one pass → ``[lanes, n//2]``.
     """
     if not kernels_enabled():
         return _reference_fold_table(field, table, r)
     p = field.modulus
+    if _is_lanes(table):
+        if field.modulus != _f61._P61_INT:
+            return _reference_fold_table(field, table, r)
+        arr = _f61.as_f61(table)
+        half = arr.shape[1] // 2
+        lo, hi = arr[:, :half], arr[:, half:]
+        r_col = _f61.as_f61(_lane_challenges(r, arr.shape[0], p))[:, None]
+        return _f61.f61_add(lo, _f61.f61_mul(r_col, _f61.f61_sub(hi, lo)))
     r %= p
     half = len(table) // 2
     is_arr = _np is not None and isinstance(table, _np.ndarray)
@@ -155,14 +213,71 @@ def eq_table(field: PrimeField, point: Sequence[int]) -> List[int]:
     return table
 
 
+def _reference_eq_table_lanes(
+    field: PrimeField, points: Sequence[Sequence[int]]
+) -> "_np.ndarray":
+    """Naive laned eq-tables: one per-lane doubling construction each."""
+    return _np.asarray(
+        [_reference_eq_table(field, point) for point in points],
+        dtype=_np.uint64,
+    )
+
+
+def eq_table_lanes(
+    field: PrimeField, points: Sequence[Sequence[int]]
+) -> "_np.ndarray":
+    """Eq-tables for ``lanes`` points at once: ``[L, m] → [L, 2^m]``.
+
+    Each doubling round scales the whole lane block by the per-lane
+    ``1−r`` and ``r`` columns and concatenates along the table axis —
+    ``m`` dispatches total for all lanes, versus ``L·m`` for per-lane
+    construction.  Lanes carry *different* points (their transcripts
+    diverge at the commitment roots), which is why this is a separate
+    entry point rather than a broadcast of :func:`eq_table`.
+    """
+    points = [list(point) for point in points]
+    if not points:
+        return _np.zeros((0, 1), dtype=_np.uint64)
+    m = len(points[0])
+    if any(len(point) != m for point in points):
+        raise ValueError("eq_table_lanes points must share one length")
+    p = field.modulus
+    if not (kernels_enabled() and _np_ok(field, 1 << m)):
+        return _reference_eq_table_lanes(field, points)
+    arr = _np.ones((len(points), 1), dtype=_np.uint64)
+    for i in range(m):
+        r_col = _f61.as_f61([point[i] % p for point in points])[:, None]
+        om_col = _f61.as_f61([(1 - point[i]) % p for point in points])[:, None]
+        arr = _np.concatenate(
+            [_f61.f61_mul(arr, om_col), _f61.f61_mul(arr, r_col)], axis=1
+        )
+    return arr
+
+
 # -- row combination (Brakedown commit/open/verify) --------------------------
 
 
 def _reference_combine_rows(
     field: PrimeField, matrix: Sequence[Sequence[int]], coeffs: Sequence[int]
 ) -> List[int]:
-    """The original per-element indexed accumulation."""
+    """The original per-element indexed accumulation.
+
+    Laned form: a ``[L, R, C]`` matrix stack with ``[L, R]`` coefficients
+    combines each lane independently → ``[L, C]`` array.
+    """
     p = field.modulus
+    if _is_lanes(matrix, ndim=3):
+        return _np.asarray(
+            [
+                _reference_combine_rows(
+                    field,
+                    [[int(v) for v in row] for row in lane],
+                    [int(c) for c in lane_coeffs],
+                )
+                for lane, lane_coeffs in zip(matrix, coeffs)
+            ],
+            dtype=_np.uint64,
+        )
     width = len(matrix[0]) if matrix else 0
     out = [0] * width
     for coeff, row in zip(coeffs, matrix):
@@ -183,10 +298,20 @@ def combine_rows(
     combinations.  Zero coefficients (common: boolean-point eq-tables
     are one-hot) skip their row entirely; unit coefficients skip the
     multiply; reduction happens once per output column.
+
+    Laned form: ``[L, R, C]`` matrix stack × ``[L, R]`` coefficient
+    array → ``[L, C]`` — one 3-D multiply plus an exact axis-1 limb sum
+    combines the rows of all lanes in a single dispatch.
     """
     if not kernels_enabled():
         return _reference_combine_rows(field, matrix, coeffs)
     p = field.modulus
+    if _is_lanes(matrix, ndim=3):
+        if field.modulus != _f61._P61_INT:
+            return _reference_combine_rows(field, matrix, coeffs)
+        mats = _f61.as_f61(matrix)
+        c_arr = _f61.as_f61(coeffs)
+        return _f61.f61_axis_sum(_f61.f61_mul(mats, c_arr[:, :, None]), axis=1)
     width = len(matrix[0]) if matrix else 0
     if matrix and _np_ok(field, width):
         k = min(len(matrix), len(coeffs))
@@ -261,8 +386,18 @@ def spmv(
 def _reference_product_round_quadratic(
     field: PrimeField, ta: Sequence[int], tb: Sequence[int]
 ) -> List[int]:
-    """The generic interpolation loop specialized to two factors."""
+    """The generic interpolation loop specialized to two factors.
+
+    Laned form: ``[L, n]`` half-tables → one ``[g0, g1, g2]`` per lane.
+    """
     p = field.modulus
+    if _is_lanes(ta):
+        return [
+            _reference_product_round_quadratic(
+                field, [int(v) for v in a], [int(v) for v in b]
+            )
+            for a, b in zip(ta, tb)
+        ]
     half = len(ta) // 2
     evals = [0, 0, 0]
     for b in range(half):
@@ -287,10 +422,30 @@ def product_round_quadratic(
     One fused pass over both half-tables: ``g(0) = Σ lo·lo``,
     ``g(1) = Σ hi·hi``, ``g(2) = Σ (2hi−lo)(2hi−lo)`` — accumulated as
     unbounded ints and reduced once per evaluation point.
+
+    Laned form: ``[L, n]`` tables → ``L`` evaluation triples from three
+    per-lane dot products (one fused pass over the whole lane block).
     """
     if not kernels_enabled():
         return _reference_product_round_quadratic(field, ta, tb)
     p = field.modulus
+    if _is_lanes(ta):
+        if field.modulus != _f61._P61_INT:
+            return _reference_product_round_quadratic(field, ta, tb)
+        a = _f61.as_f61(ta)
+        b = _f61.as_f61(tb)
+        half = a.shape[1] // 2
+        a_lo, a_hi = a[:, :half], a[:, half:]
+        b_lo, b_hi = b[:, :half], b[:, half:]
+        a2 = _f61.f61_sub(_f61.f61_add(a_hi, a_hi), a_lo)
+        b2 = _f61.f61_sub(_f61.f61_add(b_hi, b_hi), b_lo)
+        g0 = _f61.f61_rows_dot(a_lo, b_lo)
+        g1 = _f61.f61_rows_dot(a_hi, b_hi)
+        g2 = _f61.f61_rows_dot(a2, b2)
+        return [
+            [int(g0[lane]), int(g1[lane]), int(g2[lane])]
+            for lane in range(a.shape[0])
+        ]
     half = len(ta) // 2
     if (_np is not None and isinstance(ta, _np.ndarray)) or _np_ok(field, half):
         a = _f61.as_f61(ta)
@@ -319,8 +474,18 @@ def _reference_constraint_round_cubic(
     bz: Sequence[int],
     cz: Sequence[int],
 ) -> List[int]:
-    """The original stepped-interpolation loop of the constraint prover."""
+    """The original stepped-interpolation loop of the constraint prover.
+
+    Laned form: ``[L, n]`` tables → one ``[g0..g3]`` quadruple per lane.
+    """
     p = field.modulus
+    if _is_lanes(eq):
+        return [
+            _reference_constraint_round_cubic(
+                field, *([int(v) for v in t] for t in tables)
+            )
+            for tables in zip(eq, az, bz, cz)
+        ]
     half = len(eq) // 2
     evals = [0, 0, 0, 0]
     for b in range(half):
@@ -355,10 +520,36 @@ def constraint_round_cubic(
     Direct extrapolation: the linear interpolant of a table pair at
     t = 2 is ``2·hi − lo`` and at t = 3 is ``3·hi − 2·lo``, so all four
     evaluations come out of one zip pass with lazy reduction.
+
+    Laned form: ``[L, n]`` tables → ``L`` evaluation quadruples; the
+    four interpolation points are evaluated as whole-lane-block row
+    sums, so the per-round kernel cost is flat in the lane count.
     """
     if not kernels_enabled():
         return _reference_constraint_round_cubic(field, eq, az, bz, cz)
     p = field.modulus
+    if _is_lanes(eq):
+        if field.modulus != _f61._P61_INT:
+            return _reference_constraint_round_cubic(field, eq, az, bz, cz)
+        half = eq.shape[1] // 2
+        splits = []
+        for table in (eq, az, bz, cz):
+            arr = _f61.as_f61(table)
+            lo, hi = arr[:, :half], arr[:, half:]
+            d = _f61.f61_sub(hi, lo)
+            t2 = _f61.f61_add(hi, d)
+            splits.append((lo, hi, t2, _f61.f61_add(t2, d)))
+        e, a, b, c = splits
+        evals = [
+            _f61.f61_rows_sum(
+                _f61.f61_mul(e[t], _f61.f61_sub(_f61.f61_mul(a[t], b[t]), c[t]))
+            )
+            for t in range(4)
+        ]
+        return [
+            [int(evals[t][lane]) for t in range(4)]
+            for lane in range(eq.shape[0])
+        ]
     half = len(eq) // 2
     if (_np is not None and isinstance(eq, _np.ndarray)) or _np_ok(field, half):
         splits = []
@@ -398,8 +589,26 @@ def constraint_claimed_sum(
     bz: Sequence[int],
     cz: Sequence[int],
 ) -> int:
-    """``Σ_b eq[b]·(az[b]·bz[b] − cz[b]) mod p`` (sum-check #1's claim)."""
+    """``Σ_b eq[b]·(az[b]·bz[b] − cz[b]) mod p`` (sum-check #1's claim).
+
+    Laned form: ``[L, n]`` tables → one claimed sum per lane.
+    """
     p = field.modulus
+    if _is_lanes(eq):
+        if kernels_enabled() and field.modulus == _f61._P61_INT:
+            e = _f61.as_f61(eq)
+            a = _f61.as_f61(az)
+            b = _f61.as_f61(bz)
+            c = _f61.as_f61(cz)
+            sums = _f61.f61_rows_sum(
+                _f61.f61_mul(e, _f61.f61_sub(_f61.f61_mul(a, b), c))
+            )
+            return [int(v) for v in sums]
+        return [
+            sum(int(e) * (int(a) * int(b) - int(c)) for e, a, b, c in zip(*tables))
+            % p
+            for tables in zip(eq, az, bz, cz)
+        ]
     if not kernels_enabled():
         return sum(e * (a * b - c) for e, a, b, c in zip(eq, az, bz, cz)) % p
     if (_np is not None and isinstance(eq, _np.ndarray)) or _np_ok(field, len(eq)):
@@ -417,8 +626,23 @@ def constraint_violation(
     bz: Sequence[int],
     cz: Sequence[int],
 ) -> bool:
-    """True when some constraint fails ``az·bz = cz`` (satisfaction check)."""
+    """True when some constraint fails ``az·bz = cz`` (satisfaction check).
+
+    Laned form: ``[L, n]`` tables → one boolean per lane, so a single
+    bad witness in a lane-group is attributable to its lane.
+    """
     p = field.modulus
+    if _is_lanes(az):
+        if kernels_enabled() and field.modulus == _f61._P61_INT:
+            a = _f61.as_f61(az)
+            b = _f61.as_f61(bz)
+            c = _f61.as_f61(cz)
+            bad = _f61.f61_sub(_f61.f61_mul(a, b), c).any(axis=1)
+            return [bool(v) for v in bad]
+        return [
+            any((int(a) * int(b) - int(c)) % p for a, b, c in zip(*tables))
+            for tables in zip(az, bz, cz)
+        ]
     if not kernels_enabled():
         return any((a * b - c) % p for a, b, c in zip(az, bz, cz))
     if (_np is not None and isinstance(az, _np.ndarray)) or _np_ok(field, len(az)):
@@ -430,7 +654,19 @@ def constraint_violation(
 
 
 def product_pair_sum(field: PrimeField, ta: Sequence[int], tb: Sequence[int]) -> int:
-    """``Σ_b ta[b]·tb[b]`` with one final reduction (claimed-sum kernel)."""
+    """``Σ_b ta[b]·tb[b]`` with one final reduction (claimed-sum kernel).
+
+    Laned form: ``[L, n]`` tables → one pair sum per lane.
+    """
+    if _is_lanes(ta):
+        if kernels_enabled() and field.modulus == _f61._P61_INT:
+            sums = _f61.f61_rows_dot(_f61.as_f61(ta), _f61.as_f61(tb))
+            return [int(v) for v in sums]
+        p = field.modulus
+        return [
+            sum(int(a) * int(b) for a, b in zip(la, lb)) % p
+            for la, lb in zip(ta, tb)
+        ]
     if not kernels_enabled():
         p = field.modulus
         total = 0

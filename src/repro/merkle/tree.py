@@ -79,6 +79,22 @@ class MerkleTree:
     # -- constructors -------------------------------------------------------
 
     @classmethod
+    def _from_layers(
+        cls, layers: List[List[bytes]], num_leaves: int, hasher: Hasher
+    ) -> "MerkleTree":
+        """Adopt pre-computed layers (see :func:`build_forest`).
+
+        The layers must already satisfy the class invariants: padded
+        power-of-two leaf layer, each subsequent layer the pairwise
+        compression of the one below, topped by a single root.
+        """
+        tree = cls.__new__(cls)
+        tree.hasher = hasher
+        tree.layers = layers
+        tree.num_leaves = num_leaves
+        return tree
+
+    @classmethod
     def from_blocks(
         cls, blocks: Sequence[bytes], hasher: Optional[Hasher] = None
     ) -> "MerkleTree":
@@ -152,6 +168,44 @@ class MerkleTree:
             f"MerkleTree(leaves={self.num_leaves}, depth={self.depth}, "
             f"hasher={self.hasher.name})"
         )
+
+
+def build_forest(
+    leaf_lists: Sequence[Sequence[bytes]], hasher: Optional[Hasher] = None
+) -> List[MerkleTree]:
+    """Build one :class:`MerkleTree` per lane with *batched* compressions.
+
+    All lanes of a laned prover commit matrices of identical shape, so
+    their trees share a geometry.  Padding each lane's leaves and
+    concatenating them lets every level of every tree be produced by a
+    single :meth:`Hasher.compress_layer` call over the whole forest —
+    ``depth`` batched dispatches for ``L`` trees instead of ``L·depth``.
+    Each lane's slice of a level is a self-contained even-length
+    power-of-two segment, so the pairwise compression never mixes lanes
+    and each resulting tree is byte-identical to building it alone.
+    """
+    hasher = hasher or get_hasher("sha256")
+    leaf_lists = [list(leaves) for leaves in leaf_lists]
+    if not leaf_lists:
+        return []
+    padded = [pad_leaves(leaves, hasher) for leaves in leaf_lists]
+    width = len(padded[0])
+    if any(len(lane) != width for lane in padded):
+        raise MerkleError("build_forest lanes must share one leaf count")
+    lanes = len(padded)
+    per_lane_layers: List[List[List[bytes]]] = [[lane] for lane in padded]
+    current: List[bytes] = [d for lane in padded for d in lane]
+    while width > 1:
+        current = hasher.compress_layer(current)
+        width //= 2
+        for lane in range(lanes):
+            per_lane_layers[lane].append(
+                current[lane * width : (lane + 1) * width]
+            )
+    return [
+        MerkleTree._from_layers(layers, len(leaves), hasher)
+        for layers, leaves in zip(per_lane_layers, leaf_lists)
+    ]
 
 
 def merkle_root_streaming(

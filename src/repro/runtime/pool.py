@@ -51,14 +51,20 @@ FaultInjector = Callable[[int, int], None]
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(spec: ProverSpec, fault_injector: Optional[FaultInjector]) -> None:
+def _init_worker(
+    spec: ProverSpec,
+    fault_injector: Optional[FaultInjector],
+    lane_width: Optional[int] = None,
+) -> None:
     """Pool initializer: resolve this worker's prover through the spec cache.
 
     The cache is process-global, so a worker that survives across runs of
     the same circuit (one pool, many batches) derives setup exactly once.
+    ``lane_width`` switches the worker body to fused lane proving (S31).
     """
     _WORKER_STATE["prover"] = default_spec_cache().get_prover(spec)
     _WORKER_STATE["fault"] = fault_injector
+    _WORKER_STATE["lane_width"] = lane_width
 
 
 def _prove_chunk(
@@ -70,11 +76,35 @@ def _prove_chunk(
     per task.  Any exception (including an injected fault) propagates to
     the dispatcher, which retries; a chunk fails as a unit and is split
     on retry.
+
+    With ``lane_width`` set, a multi-task chunk is one fused lane
+    dispatch (:meth:`~repro.core.prover.SnarkProver.prove_lanes`): the
+    injector still fires per task, the proofs are byte-identical to the
+    per-task path, and the wall time and stage buckets are amortized
+    uniformly across the chunk.  Retried singletons take the per-task
+    path naturally.
     """
     prover: SnarkProver = _WORKER_STATE["prover"]
     fault: Optional[FaultInjector] = _WORKER_STATE.get("fault")
-    out: List[Tuple[int, SnarkProof, float, int, Dict[str, float]]] = []
+    lane_width = _WORKER_STATE.get("lane_width")
     pid = os.getpid()
+    if lane_width is not None and len(chunk) > 1:
+        for _, task, attempt in chunk:
+            if fault is not None:
+                fault(task.task_id, attempt)
+        start = time.perf_counter()
+        with collect_stages() as profile:
+            proofs = prover.prove_lanes(
+                [task.witness for _, task, _ in chunk],
+                [task.public_values for _, task, _ in chunk],
+            )
+        per_task = (time.perf_counter() - start) / len(chunk)
+        stages = {k: v / len(chunk) for k, v in profile.as_dict().items()}
+        return [
+            (index, proof, per_task, pid, dict(stages))
+            for (index, _, _), proof in zip(chunk, proofs)
+        ]
+    out: List[Tuple[int, SnarkProof, float, int, Dict[str, float]]] = []
     for index, task, attempt in chunk:
         if fault is not None:
             fault(task.task_id, attempt)
@@ -129,6 +159,13 @@ class ParallelProvingRuntime:
         trace:                 Optional :class:`JsonlTraceSink`.
         fault_injector:        Optional picklable ``(task_id, attempt)``
                                callable that raises to simulate failures.
+        lane_width:            When set, each multi-task chunk is proved
+                               as one fused lane dispatch (S31);
+                               ``chunk_size`` defaults to the lane width
+                               so a chunk *is* a lane group.  Proofs stay
+                               byte-identical to the per-task path; the
+                               ``workers=1``/fallback serial path and
+                               retried singletons prove per task.
     """
 
     def __init__(
@@ -144,6 +181,7 @@ class ParallelProvingRuntime:
         trace: Optional[JsonlTraceSink] = None,
         fault_injector: Optional[FaultInjector] = None,
         poll_interval_seconds: float = 0.002,
+        lane_width: Optional[int] = None,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -153,6 +191,16 @@ class ParallelProvingRuntime:
             raise ProofError(f"chunk_size must be >= 1, got {chunk_size}")
         if max_retries < 0:
             raise ProofError(f"max_retries must be >= 0, got {max_retries}")
+        if lane_width is not None:
+            if lane_width < 1:
+                raise ProofError(
+                    f"lane_width must be >= 1, got {lane_width}"
+                )
+            if chunk_size == 1:
+                # A lane group rides in one chunk; size the chunks to the
+                # lanes unless the caller tuned chunking explicitly.
+                chunk_size = lane_width
+        self.lane_width = lane_width
         self.spec = spec
         self.workers = workers
         self.chunk_size = chunk_size
@@ -317,7 +365,7 @@ class ParallelProvingRuntime:
             pool = ctx.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(self.spec, self.fault_injector),
+                initargs=(self.spec, self.fault_injector, self.lane_width),
             )
         except (OSError, ValueError) as exc:
             # Pool could not even start (fd exhaustion, sandboxed env…):

@@ -79,10 +79,11 @@ class MlaasService:
         #: :class:`~repro.runtime.RuntimeStats` of the most recent
         #: :meth:`prove_predictions` batch (None before the first batch).
         self.last_runtime_stats: Optional["RuntimeStats"] = None
-        # Per-circuit specs and per-worker-count execution backends, both
-        # cached so repeated batches of one shape reuse prover setups.
+        # Per-circuit specs and per-(workers, lanes) execution backends,
+        # both cached so repeated batches of one shape reuse prover
+        # setups.
         self._specs: Dict[bytes, "ProverSpec"] = {}
-        self._backends: Dict[int, "ProvingBackend"] = {}
+        self._backends: Dict[tuple, "ProvingBackend"] = {}
 
     @property
     def model_root(self) -> bytes:
@@ -109,14 +110,25 @@ class MlaasService:
             prediction=zk.outputs, proof=proof, model_root=self.model_root
         )
 
-    def _execution_backend(self, workers: int) -> "ProvingBackend":
-        """The cached per-worker-count execution backend for batches."""
-        from ..execution import PoolBackend, SerialBackend
+    def _execution_backend(self, workers: int, lanes=None) -> "ProvingBackend":
+        """The cached per-(workers, lanes) execution backend for batches."""
+        from ..execution import (
+            PoolBackend,
+            SerialBackend,
+            lane_selector,
+            resolve_backend,
+        )
 
-        backend = self._backends.get(workers)
+        key = (workers, lanes)
+        backend = self._backends.get(key)
         if backend is None:
-            backend = SerialBackend() if workers == 1 else PoolBackend(workers)
-            self._backends[workers] = backend
+            if lanes is not None:
+                backend = resolve_backend(lane_selector(lanes, workers))
+            elif workers == 1:
+                backend = SerialBackend()
+            else:
+                backend = PoolBackend(workers)
+            self._backends[key] = backend
         return backend
 
     def prove_predictions(
@@ -124,6 +136,7 @@ class MlaasService:
         inputs: Sequence[QuantizedTensor],
         workers: int = 1,
         backend: Optional["BackendLike"] = None,
+        lanes=None,
     ) -> List[PredictionResponse]:
         """Prove a *batch* of predictions, optionally across worker processes.
 
@@ -139,6 +152,13 @@ class MlaasService:
         :attr:`last_runtime_stats`; calls that never reach a backend (an
         empty batch, or the non-uniform serial fallback) reset it to None
         so it always describes *this* call, never a previous one.
+
+        ``lanes`` (an integer width or ``"auto"``) routes a
+        digest-uniform batch through the lane-vectorized S31 path —
+        ``lanes:<L>`` (or ``lanes:<L>:pool:<workers>``) proving
+        same-circuit instances in fused numpy dispatches.  A non-uniform
+        batch ignores it (the serial fallback has no lanes to fuse), and
+        an explicit ``backend`` wins over ``lanes``.
         """
         from ..execution import resolve_backend
         from ..runtime import ProverSpec
@@ -163,7 +183,7 @@ class MlaasService:
             )
             self._specs[reference_digest] = spec
         resolved = (
-            self._execution_backend(workers)
+            self._execution_backend(workers, lanes)
             if backend is None
             else resolve_backend(backend)
         )
@@ -238,6 +258,7 @@ class MlaasService:
         *,
         workers: int = 1,
         backend: Optional["BackendLike"] = None,
+        lanes=None,
         policy=None,
         **service_kwargs,
     ) -> "ProofService":
@@ -265,7 +286,7 @@ class MlaasService:
         from ..service import ProofService
 
         return ProofService(
-            _PredictionBackend(self, workers, backend),
+            _PredictionBackend(self, workers, backend, lanes),
             policy=policy,
             keyer=self.request_keys,
             **service_kwargs,
@@ -289,17 +310,22 @@ class _PredictionBackend:
         service: MlaasService,
         workers: int = 1,
         backend: Optional["BackendLike"] = None,
+        lanes=None,
     ):
         from ..execution import resolve_backend
 
         self.service = service
         self.workers = workers
         self.backend = None if backend is None else resolve_backend(backend)
+        self.lanes = lanes
 
     def prove_batch(self, circuit_key, requests) -> List[PredictionResponse]:
         inputs = [request.payload for request in requests]
         return self.service.prove_predictions(
-            inputs, workers=self.workers, backend=self.backend
+            inputs,
+            workers=self.workers,
+            backend=self.backend,
+            lanes=self.lanes,
         )
 
 

@@ -1,0 +1,422 @@
+"""Lane-vectorized proving tests (S31): kernels, prover, backend.
+
+Four properties pin the lane dimension down:
+
+1. **Kernel parity** — every laned kernel matches its naive reference
+   twin element-for-element at ``[lanes, n]`` shape, and each lane
+   matches the scalar kernel applied to that lane alone, across the
+   fast-path field (M61) and two fallback fields (M31, p=97).
+2. **Byte identity** — ``prove_lanes`` emits proofs byte-identical to
+   the per-proof path lane-for-lane, including the degenerate
+   ``lanes=1`` group and the ragged final group of a batch.
+3. **Selector surface** — ``lanes:<W>``/``lanes:auto`` resolve, pad,
+   and compose; ``lane_selector``/``resolve_lane_width`` behave.
+4. **Accounting** — amortized per-lane stage seconds keep the S27
+   invariant Σ(exclusive stages) ≤ proving wall per task record.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ProofTask, SnarkVerifier, random_circuit
+from repro.core.lanes import LanedProof
+from repro.core.prover import PIPELINE_STAGES, make_pcs
+from repro.core.serialize import serialize_proof
+from repro.execution import (
+    AUTO_LANE_WIDTH,
+    LanedBackend,
+    lane_selector,
+    resolve_backend,
+    resolve_lane_width,
+)
+from repro.field import DEFAULT_FIELD, PrimeField, fast61
+from repro.field.primes import MERSENNE61
+from repro.hashing.hashers import get_hasher
+from repro.kernels import field_kernels, use_reference_kernels
+from repro.merkle.tree import MerkleTree, build_forest
+from repro.runtime import ProverSpec
+
+F = DEFAULT_FIELD
+P = MERSENNE61
+
+#: The acceptance matrix: the M61 fast path plus two fallback moduli
+#: (a non-M61 Mersenne prime and a tiny odd prime) that must take the
+#: reference/lockstep code paths yet produce identical bytes.
+FIELDS = [F, PrimeField(2**31 - 1, check=False), PrimeField(97, check=False)]
+FIELD_IDS = ["m61", "m31", "p97"]
+
+
+def _lane_mat(rng, lanes, n, p):
+    """A ``[lanes, n]`` uint64 array of random residues."""
+    return np.array(
+        [[rng.randrange(p) for _ in range(n)] for _ in range(lanes)],
+        dtype=np.uint64,
+    )
+
+
+def _as_int_lists(arr):
+    return [[int(v) for v in lane] for lane in np.asarray(arr)]
+
+
+# -- laned kernel parity ------------------------------------------------------
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=FIELD_IDS)
+class TestLanedKernelParity:
+    """fast == reference == per-lane scalar, at ``[lanes, n]`` shape."""
+
+    LANES = 5
+
+    def test_fold_table(self, field, rng):
+        p = field.modulus
+        table = _lane_mat(rng, self.LANES, 16, p)
+        rs = [rng.randrange(p) for _ in range(self.LANES)]
+        fast = field_kernels.fold_table(field, table, rs)
+        ref = field_kernels._reference_fold_table(field, table, rs)
+        assert _as_int_lists(fast) == _as_int_lists(ref)
+        for lane in range(self.LANES):
+            scalar = field_kernels.fold_table(
+                field, [int(v) for v in table[lane]], rs[lane]
+            )
+            assert _as_int_lists(fast)[lane] == [int(v) % p for v in scalar]
+
+    def test_fold_table_scalar_challenge_broadcasts(self, field, rng):
+        p = field.modulus
+        table = _lane_mat(rng, 3, 8, p)
+        r = rng.randrange(p)
+        fast = field_kernels.fold_table(field, table, r)
+        assert _as_int_lists(fast) == _as_int_lists(
+            field_kernels.fold_table(field, table, [r, r, r])
+        )
+
+    def test_eq_table_lanes(self, field, rng):
+        p = field.modulus
+        points = [[rng.randrange(p) for _ in range(4)] for _ in range(self.LANES)]
+        fast = field_kernels.eq_table_lanes(field, points)
+        ref = field_kernels._reference_eq_table_lanes(field, points)
+        assert fast.shape == (self.LANES, 16)
+        assert _as_int_lists(fast) == _as_int_lists(ref)
+        for lane, point in enumerate(points):
+            scalar = field_kernels.eq_table(field, point)
+            assert _as_int_lists(fast)[lane] == [int(v) % p for v in scalar]
+
+    def test_combine_rows(self, field, rng):
+        p = field.modulus
+        mats = np.array(
+            [
+                [[rng.randrange(p) for _ in range(9)] for _ in range(6)]
+                for _ in range(self.LANES)
+            ],
+            dtype=np.uint64,
+        )
+        coeffs = _lane_mat(rng, self.LANES, 6, p)
+        # Exercise the sparse skips: zero and unit coefficients.
+        coeffs[0, 0] = 0
+        coeffs[1, 2] = 1
+        fast = field_kernels.combine_rows(field, mats, coeffs)
+        ref = field_kernels._reference_combine_rows(field, mats, coeffs)
+        assert _as_int_lists(fast) == _as_int_lists(ref)
+        for lane in range(self.LANES):
+            scalar = field_kernels.combine_rows(
+                field,
+                [[int(v) for v in row] for row in mats[lane]],
+                [int(c) for c in coeffs[lane]],
+            )
+            assert _as_int_lists(fast)[lane] == [int(v) % p for v in scalar]
+
+    def test_product_round_quadratic(self, field, rng):
+        p = field.modulus
+        ta = _lane_mat(rng, self.LANES, 12, p)
+        tb = _lane_mat(rng, self.LANES, 12, p)
+        fast = field_kernels.product_round_quadratic(field, ta, tb)
+        ref = field_kernels._reference_product_round_quadratic(field, ta, tb)
+        assert [[int(v) % p for v in lane] for lane in fast] == [
+            [int(v) % p for v in lane] for lane in ref
+        ]
+        for lane in range(self.LANES):
+            scalar = field_kernels.product_round_quadratic(
+                field, [int(v) for v in ta[lane]], [int(v) for v in tb[lane]]
+            )
+            assert [int(v) % p for v in fast[lane]] == [int(v) % p for v in scalar]
+
+    def test_constraint_round_cubic(self, field, rng):
+        p = field.modulus
+        tables = [_lane_mat(rng, self.LANES, 12, p) for _ in range(4)]
+        fast = field_kernels.constraint_round_cubic(field, *tables)
+        ref = field_kernels._reference_constraint_round_cubic(field, *tables)
+        assert [[int(v) % p for v in lane] for lane in fast] == [
+            [int(v) % p for v in lane] for lane in ref
+        ]
+        for lane in range(self.LANES):
+            scalar = field_kernels.constraint_round_cubic(
+                field, *([int(v) for v in t[lane]] for t in tables)
+            )
+            assert [int(v) % p for v in fast[lane]] == [int(v) % p for v in scalar]
+
+    def test_constraint_claimed_sum(self, field, rng):
+        p = field.modulus
+        tables = [_lane_mat(rng, self.LANES, 10, p) for _ in range(4)]
+        got = field_kernels.constraint_claimed_sum(field, *tables)
+        for lane in range(self.LANES):
+            scalar = field_kernels.constraint_claimed_sum(
+                field, *([int(v) for v in t[lane]] for t in tables)
+            )
+            assert int(got[lane]) % p == scalar % p
+
+    def test_constraint_violation_attributes_the_bad_lane(self, field, rng):
+        p = field.modulus
+        az = _lane_mat(rng, 3, 8, p)
+        bz = _lane_mat(rng, 3, 8, p)
+        cz = np.array(
+            [[(int(a) * int(b)) % p for a, b in zip(la, lb)] for la, lb in zip(az, bz)],
+            dtype=np.uint64,
+        )
+        assert field_kernels.constraint_violation(field, az, bz, cz) == [
+            False,
+            False,
+            False,
+        ]
+        cz[1, 3] = (int(cz[1, 3]) + 1) % p
+        assert field_kernels.constraint_violation(field, az, bz, cz) == [
+            False,
+            True,
+            False,
+        ]
+
+    def test_product_pair_sum(self, field, rng):
+        p = field.modulus
+        ta = _lane_mat(rng, self.LANES, 11, p)
+        tb = _lane_mat(rng, self.LANES, 11, p)
+        got = field_kernels.product_pair_sum(field, ta, tb)
+        for lane in range(self.LANES):
+            scalar = field_kernels.product_pair_sum(
+                field, [int(v) for v in ta[lane]], [int(v) for v in tb[lane]]
+            )
+            assert int(got[lane]) % p == scalar % p
+
+    def test_laned_fast_matches_reference_mode(self, field, rng):
+        """The whole laned surface again, with kernels globally disabled."""
+        p = field.modulus
+        table = _lane_mat(rng, 3, 8, p)
+        rs = [rng.randrange(p) for _ in range(3)]
+        fast = field_kernels.fold_table(field, table, rs)
+        with use_reference_kernels():
+            ref = field_kernels.fold_table(field, table, rs)
+        assert _as_int_lists(fast) == _as_int_lists(ref)
+
+
+# -- laned fast61 primitives --------------------------------------------------
+
+
+class TestLanedFast61:
+    def test_axis_and_rows_sum(self, rng):
+        a = _lane_mat(rng, 4, 37, P)
+        rows = fast61.f61_rows_sum(a)
+        assert [int(v) for v in rows] == [
+            sum(int(x) for x in lane) % P for lane in a
+        ]
+        cols = fast61.f61_axis_sum(a, axis=0)
+        assert [int(v) for v in cols] == [
+            sum(int(a[i, j]) for i in range(4)) % P for j in range(37)
+        ]
+
+    def test_rows_dot(self, rng):
+        a = _lane_mat(rng, 4, 23, P)
+        b = _lane_mat(rng, 4, 23, P)
+        got = fast61.f61_rows_dot(a, b)
+        assert [int(v) for v in got] == [
+            sum(int(x) * int(y) for x, y in zip(la, lb)) % P
+            for la, lb in zip(a, b)
+        ]
+
+    def test_spmv_apply_lanes_matches_per_lane_apply(self, rng):
+        n_in, n_out, nnz = 24, 31, 60
+        src = [rng.randrange(n_in) for _ in range(nnz)]
+        dst = [rng.randrange(n_out) for _ in range(nnz)]
+        w = [rng.randrange(P) for _ in range(nnz)]
+        spmv = fast61.F61SpMV(src, dst, w, n_in, n_out)
+        x = np.array(
+            [[[rng.randrange(P) for _ in range(n_in)] for _ in range(3)]
+             for _ in range(4)],
+            dtype=np.uint64,
+        )
+        laned = spmv.apply_lanes(x)
+        assert laned.shape == (4, 3, n_out)
+        for lane in range(4):
+            for row in range(3):
+                assert laned[lane, row].tolist() == spmv.apply(
+                    x[lane, row]
+                ).tolist()
+
+
+# -- batched Merkle forest ----------------------------------------------------
+
+
+class TestMerkleForest:
+    def test_forest_matches_per_lane_trees(self, rng):
+        hasher = get_hasher("sha256")
+        leaf_lists = [
+            [bytes([rng.randrange(256)]) * 32 for _ in range(6)] for _ in range(5)
+        ]
+        forest = build_forest(leaf_lists, hasher)
+        for leaves, tree in zip(leaf_lists, forest):
+            alone = MerkleTree(leaves, hasher)
+            assert tree.root == alone.root
+            assert tree.layers == alone.layers
+            proof = tree.open(3)
+            assert proof.verify(alone.root, hasher)
+
+    def test_single_lane_forest(self, rng):
+        hasher = get_hasher("sha256")
+        leaves = [bytes([i]) * 32 for i in range(8)]
+        (tree,) = build_forest([leaves], hasher)
+        assert tree.root == MerkleTree(leaves, hasher).root
+
+
+# -- laned prover byte identity ----------------------------------------------
+
+
+def _make_spec_and_tasks(field, gates, count, seed=11):
+    """One circuit structure, ``count`` distinct-witness variants."""
+    rng = random.Random(f"test-lanes/{seed}")
+    variants = [
+        random_circuit(
+            field,
+            gates,
+            seed=seed,
+            input_values=[rng.randrange(1, field.modulus) for _ in range(8)],
+        )
+        for _ in range(count)
+    ]
+    base = variants[0]
+    digest = base.r1cs.digest()
+    assert all(v.r1cs.digest() == digest for v in variants)
+    spec = ProverSpec(
+        r1cs=base.r1cs,
+        public_indices=tuple(base.public_indices),
+        num_col_checks=6,
+    )
+    tasks = [
+        ProofTask(task_id=i, witness=v.witness, public_values=v.public_values)
+        for i, v in enumerate(variants)
+    ]
+    return spec, tasks
+
+
+def _wire(field, proofs):
+    return [serialize_proof(p, field) for p in proofs]
+
+
+class TestLanedProofByteIdentity:
+    @pytest.mark.parametrize("field", FIELDS, ids=FIELD_IDS)
+    def test_prove_lanes_matches_per_proof_path(self, field):
+        spec, tasks = _make_spec_and_tasks(field, 24, 3)
+        prover = spec.build_prover()
+        serial = [prover.prove(t.witness, t.public_values) for t in tasks]
+        laned = prover.prove_lanes(
+            [t.witness for t in tasks], [t.public_values for t in tasks]
+        )
+        assert _wire(field, laned) == _wire(field, serial)
+        verifier = SnarkVerifier(
+            spec.r1cs,
+            make_pcs(field, spec.r1cs, num_col_checks=6),
+            public_indices=list(spec.public_indices),
+        )
+        assert all(
+            verifier.verify(p, t.public_values) for p, t in zip(laned, tasks)
+        )
+
+    def test_single_lane_is_byte_identical(self):
+        spec, tasks = _make_spec_and_tasks(F, 24, 1)
+        prover = spec.build_prover()
+        (task,) = tasks
+        alone = prover.prove(task.witness, task.public_values)
+        (laned,) = prover.prove_lanes([task.witness], [task.public_values])
+        assert serialize_proof(laned, F) == serialize_proof(alone, F)
+
+    def test_laned_proof_walks_pipeline_stages(self):
+        spec, tasks = _make_spec_and_tasks(F, 24, 2)
+        prover = spec.build_prover()
+        staged = prover.begin_lanes(
+            [t.witness for t in tasks], [t.public_values for t in tasks]
+        )
+        assert isinstance(staged, LanedProof)
+        seen = []
+        while not staged.done:
+            seen.append(staged.next_stage)
+            staged.run_next()
+        assert seen == list(PIPELINE_STAGES)
+        assert staged.next_stage is None
+        assert len(staged.proofs) == 2
+
+
+# -- lane backend: selectors, padding, accounting -----------------------------
+
+
+class TestLaneBackend:
+    def test_resolve_lane_width(self):
+        assert resolve_lane_width("auto", 3) == 3
+        assert resolve_lane_width("auto", 500) == AUTO_LANE_WIDTH
+        assert resolve_lane_width(7, 3) == 7
+        with pytest.raises(Exception):
+            resolve_lane_width(0, 3)
+
+    def test_lane_selector(self):
+        assert lane_selector(4) == "lanes:4"
+        assert lane_selector("auto") == "lanes:auto"
+        assert lane_selector(8, workers=2) == "lanes:8:pool:2"
+        assert lane_selector("auto", workers=2) == (
+            f"lanes:{AUTO_LANE_WIDTH}:pool:2"
+        )
+
+    def test_selector_resolves_named_variants(self):
+        assert isinstance(resolve_backend("lanes"), LanedBackend)
+        assert resolve_backend("lanes:auto").lane_width == "auto"
+        assert resolve_backend("lanes:16").lane_width == 16
+        assert resolve_backend("lanes:4").name == "lanes:4"
+        assert resolve_backend("lanes:4:pipelined:2").name == "lanes:4:pipelined:2"
+
+    def test_ragged_final_group_pads_and_matches_serial(self):
+        spec, tasks = _make_spec_and_tasks(F, 24, 7)
+        serial, _ = resolve_backend("serial").prove_tasks(spec, tasks)
+        laned, stats = resolve_backend("lanes:4").prove_tasks(spec, tasks)
+        assert _wire(F, laned) == _wire(F, serial)
+        assert stats.proofs_generated == 7
+        assert [r.task_id for r in stats.records] == list(range(7))
+        assert all(r.attempts == 1 for r in stats.records)
+
+    def test_auto_width_matches_serial(self):
+        spec, tasks = _make_spec_and_tasks(F, 24, 5)
+        serial, _ = resolve_backend("serial").prove_tasks(spec, tasks)
+        laned, _ = resolve_backend("lanes:auto").prove_tasks(spec, tasks)
+        assert _wire(F, laned) == _wire(F, serial)
+
+    def test_stage_seconds_keep_the_s27_invariant(self):
+        """Amortized per-lane stages: Σ(exclusive) ≤ prove wall per task.
+
+        ``encode`` and ``merkle`` nest inside ``commit``, so the
+        exclusive sum leaves them out — the same accounting rule the
+        S27 pipelined executor pins.
+        """
+        spec, tasks = _make_spec_and_tasks(F, 24, 6)
+        _, stats = resolve_backend("lanes:4").prove_tasks(spec, tasks)
+        assert len(stats.records) == 6
+        for record in stats.records:
+            assert record.stage_seconds, "laned records must carry stage timings"
+            exclusive = sum(
+                v
+                for k, v in record.stage_seconds.items()
+                if k not in ("encode", "merkle")
+            )
+            assert exclusive <= record.prove_seconds + 1e-6
+            assert record.prove_seconds >= 0.0
+
+    def test_group_wall_is_amortized_across_lanes(self):
+        spec, tasks = _make_spec_and_tasks(F, 24, 4)
+        _, stats = resolve_backend("lanes:4").prove_tasks(spec, tasks)
+        walls = [r.prove_seconds for r in stats.records]
+        # One fused group: every lane carries the same amortized share.
+        assert max(walls) == pytest.approx(min(walls))
+        assert sum(walls) <= stats.total_seconds + 1e-6

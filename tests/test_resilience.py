@@ -411,6 +411,8 @@ class TestChaosParity:
         "serial",
         "pool:2",
         "pipelined:2",
+        "lanes:4",
+        "resilient:lanes:4",
         "sharded:serial,serial",
         "resilient:sharded:serial,serial",
         "resilient:pipelined:2",
